@@ -1,0 +1,88 @@
+"""Dynamic maintenance benchmark (ours — the paper's future work).
+
+Measures the cost of maintaining the PMBC-Index under single-edge
+updates versus rebuilding from scratch.  Expected shape: an update
+rebuilds only the O(deg(u) + deg(v)) affected trees and is much
+cheaper than a full PMBC-IC* rebuild.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import build_index_star
+from repro.core.dynamic import DynamicPMBCIndex
+from repro.datasets.zoo import load_dataset
+
+pytestmark = pytest.mark.benchmark(group="dynamic")
+
+DATASET = "Writers"
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset(DATASET)
+
+
+@pytest.fixture(scope="module")
+def update_stream(graph):
+    """A deterministic mixed insert/delete stream of absent/present edges."""
+    rng = random.Random(99)
+    present = sorted(graph.edges())
+    deletions = rng.sample(present, 5)
+    absent = []
+    while len(absent) < 5:
+        u = rng.randrange(graph.num_upper)
+        v = rng.randrange(graph.num_lower)
+        if not graph.has_edge(u, v) and (u, v) not in absent:
+            absent.append((u, v))
+    return deletions, absent
+
+
+def test_full_rebuild_baseline(benchmark, graph):
+    index = benchmark.pedantic(
+        lambda: build_index_star(graph), rounds=2, iterations=1
+    )
+    benchmark.extra_info["num_tree_nodes"] = index.num_tree_nodes
+
+
+def test_incremental_updates(benchmark, graph, update_stream):
+    deletions, insertions = update_stream
+
+    def setup():
+        return (DynamicPMBCIndex(graph),), {}
+
+    def run(dynamic):
+        rebuilt = 0
+        for u, v in deletions:
+            rebuilt += dynamic.delete_edge(u, v)
+        for u, v in insertions:
+            rebuilt += dynamic.insert_edge(u, v)
+        return rebuilt
+
+    rebuilt = benchmark.pedantic(run, setup=setup, rounds=2, iterations=1)
+    benchmark.extra_info["trees_rebuilt_for_10_updates"] = rebuilt
+    total_vertices = graph.num_vertices
+    benchmark.extra_info["total_vertices"] = total_vertices
+    # An update must touch far fewer trees than a full rebuild.
+    assert rebuilt < total_vertices
+
+
+def test_batched_updates(benchmark, graph, update_stream):
+    """Batching rebuilds the union of affected trees once."""
+    deletions, insertions = update_stream
+    updates = [("delete", u, v) for u, v in deletions] + [
+        ("insert", u, v) for u, v in insertions
+    ]
+
+    def setup():
+        return (DynamicPMBCIndex(graph),), {}
+
+    def run(dynamic):
+        return dynamic.apply_updates(updates)
+
+    rebuilt = benchmark.pedantic(run, setup=setup, rounds=2, iterations=1)
+    benchmark.extra_info["trees_rebuilt_for_batch"] = rebuilt
+    assert rebuilt < graph.num_vertices

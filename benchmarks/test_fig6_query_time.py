@@ -1,0 +1,88 @@
+"""Figure 6 — query time of PMBC-OL, PMBC-OL* and PMBC-IQ.
+
+Paper setup: all 10 datasets, τ_U = τ_L = 5, 200 random queries from
+the top-500 degree vertices, mean reported.  Expected shape: PMBC-IQ
+is orders of magnitude faster than both online algorithms (paper: up
+to 5 orders); PMBC-OL* is at least as fast as PMBC-OL.
+
+Each benchmark case times one full workload sweep; per-query time is
+the reported value divided by the workload size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import pmbc_index_query, pmbc_online
+from repro.datasets.zoo import dataset_names
+
+from conftest import NUM_QUERIES, TAU_DEFAULT
+
+pytestmark = pytest.mark.benchmark(group="fig6")
+
+ALL_DATASETS = dataset_names()
+
+
+def _run_online(graph, queries, bounds=None):
+    results = []
+    for side, q in queries:
+        results.append(
+            pmbc_online(
+                graph, side, q, TAU_DEFAULT, TAU_DEFAULT, bounds=bounds
+            )
+        )
+    return results
+
+
+@pytest.mark.parametrize("dataset", ALL_DATASETS)
+def test_pmbc_ol(benchmark, dataset, graphs, workloads):
+    graph = graphs(dataset)
+    queries = workloads(dataset)
+    results = benchmark.pedantic(
+        lambda: _run_online(graph, queries), rounds=1, iterations=1
+    )
+    benchmark.extra_info["per_query_ms"] = (
+        benchmark.stats["mean"] * 1e3 / NUM_QUERIES
+    )
+    assert len(results) == len(queries)
+
+
+@pytest.mark.parametrize("dataset", ALL_DATASETS)
+def test_pmbc_ol_star(benchmark, dataset, graphs, workloads, all_bounds):
+    graph = graphs(dataset)
+    queries = workloads(dataset)
+    bounds = all_bounds(dataset)  # offline per the paper
+    results = benchmark.pedantic(
+        lambda: _run_online(graph, queries, bounds), rounds=1, iterations=1
+    )
+    benchmark.extra_info["per_query_ms"] = (
+        benchmark.stats["mean"] * 1e3 / NUM_QUERIES
+    )
+    assert len(results) == len(queries)
+
+
+@pytest.mark.parametrize("dataset", ALL_DATASETS)
+def test_pmbc_iq(benchmark, dataset, graphs, workloads, star_indexes):
+    graph = graphs(dataset)
+    queries = workloads(dataset)
+    index = star_indexes(dataset)
+
+    def run():
+        return [
+            pmbc_index_query(index, side, q, TAU_DEFAULT, TAU_DEFAULT)
+            for side, q in queries
+        ]
+
+    results = benchmark.pedantic(run, rounds=5, iterations=3)
+    benchmark.extra_info["per_query_ms"] = (
+        benchmark.stats["mean"] * 1e3 / NUM_QUERIES
+    )
+
+    # Index answers must match the online algorithm's sizes — and be
+    # dramatically faster; the speed shape is checked in
+    # run_experiments.py where both timings sit side by side.
+    online = _run_online(graph, queries)
+    for got, expected in zip(results, online):
+        assert (got.num_edges if got else 0) == (
+            expected.num_edges if expected else 0
+        )

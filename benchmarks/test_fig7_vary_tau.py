@@ -1,0 +1,62 @@
+"""Figure 7 — query time varying the parameters τ_U and τ_L.
+
+Paper setup: datasets ActorMovies, Wikipedia, Amazon, DBLP; τ varied
+with the other parameter fixed.  Expected shape: query time varies only
+mildly with τ, and PMBC-IQ ≪ PMBC-OL* ≤ PMBC-OL at every setting.
+
+We vary τ = τ_U = τ_L over {2, 4, 6, 8, 10} (the union of the paper's
+per-axis sweeps) for the three algorithms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import pmbc_index_query, pmbc_online
+from repro.datasets.zoo import scalability_dataset_names
+
+from conftest import NUM_QUERIES
+
+pytestmark = pytest.mark.benchmark(group="fig7")
+
+DATASETS = scalability_dataset_names()
+TAUS = [2, 4, 6, 8, 10]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("tau", TAUS)
+def test_vary_tau_online(benchmark, dataset, tau, graphs, workloads, all_bounds):
+    graph = graphs(dataset)
+    queries = workloads(dataset)
+    bounds = all_bounds(dataset)
+
+    def run():
+        return [
+            pmbc_online(graph, side, q, tau, tau, bounds=bounds)
+            for side, q in queries
+        ]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["per_query_ms"] = (
+        benchmark.stats["mean"] * 1e3 / NUM_QUERIES
+    )
+    benchmark.extra_info["algorithm"] = "PMBC-OL*"
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("tau", TAUS)
+def test_vary_tau_index(benchmark, dataset, tau, workloads, star_indexes):
+    index = star_indexes(dataset)
+    queries = workloads(dataset)
+
+    def run():
+        return [
+            pmbc_index_query(index, side, q, tau, tau)
+            for side, q in queries
+        ]
+
+    benchmark.pedantic(run, rounds=5, iterations=3)
+    benchmark.extra_info["per_query_ms"] = (
+        benchmark.stats["mean"] * 1e3 / NUM_QUERIES
+    )
+    benchmark.extra_info["algorithm"] = "PMBC-IQ"

@@ -1,0 +1,60 @@
+"""Figure 9 — index construction scalability, varying graph size m.
+
+Paper setup: uniformly sample 20%–100% of each graph's edges
+(ActorMovies, Wikipedia, Amazon, DBLP) and build PMBC-IC / PMBC-IC* on
+each sample.  Expected shape: build time grows with m for both
+constructors, IC* dominated by IC at every sample level.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_index, build_index_star
+from repro.datasets.zoo import scalability_dataset_names
+from repro.graph.sampling import sample_edges
+
+pytestmark = pytest.mark.benchmark(group="fig9")
+
+DATASETS = scalability_dataset_names()
+FRACTIONS = [0.2, 0.4, 0.6, 0.8, 1.0]
+
+
+@pytest.fixture(scope="module")
+def sampled_graphs(graphs):
+    cache: dict[tuple[str, float], object] = {}
+
+    def get(name: str, fraction: float):
+        key = (name, fraction)
+        if key not in cache:
+            graph = graphs(name)
+            cache[key] = (
+                graph
+                if fraction == 1.0
+                else sample_edges(graph, fraction, seed=2022)
+            )
+        return cache[key]
+
+    return get
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_scalability_ic(benchmark, dataset, fraction, sampled_graphs):
+    graph = sampled_graphs(dataset, fraction)
+    index = benchmark.pedantic(
+        lambda: build_index(graph), rounds=1, iterations=1
+    )
+    benchmark.extra_info["num_edges"] = graph.num_edges
+    benchmark.extra_info["num_bicliques"] = index.num_bicliques
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_scalability_ic_star(benchmark, dataset, fraction, sampled_graphs):
+    graph = sampled_graphs(dataset, fraction)
+    index = benchmark.pedantic(
+        lambda: build_index_star(graph), rounds=1, iterations=1
+    )
+    benchmark.extra_info["num_edges"] = graph.num_edges
+    benchmark.extra_info["num_bicliques"] = index.num_bicliques

@@ -1,0 +1,84 @@
+"""Table III — index construction time and index size.
+
+Paper setup: all 10 datasets; columns = PMBC-IC time, PMBC-IC* time,
+|G|, |T|, |A|.  Expected shape: IC* ≤ IC everywhere with the largest
+gaps on the biggest datasets; total index size a small multiple of the
+graph size (paper: 3.5×–6.1×); the basic index of Section IV only
+completes on the smallest dataset within its budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_index, build_index_star, build_naive_index
+from repro.core.naive_index import NaiveIndexTimeout
+from repro.datasets.zoo import dataset_names
+
+pytestmark = pytest.mark.benchmark(group="table3")
+
+ALL_DATASETS = dataset_names()
+
+#: Scaled-down analogue of the paper's 10^4 s algorithm timeout.
+NAIVE_BUDGET_SECONDS = 20.0
+
+
+def _graph_size_bytes(graph):
+    """|G| under the same word model as the index sizes (CSR-ish)."""
+    return (2 * graph.num_edges + graph.num_vertices) * 8
+
+
+@pytest.mark.parametrize("dataset", ALL_DATASETS)
+def test_build_ic(benchmark, dataset, graphs, all_bounds):
+    graph = graphs(dataset)
+    bounds = all_bounds(dataset)
+    index = benchmark.pedantic(
+        lambda: build_index(graph, bounds=bounds), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(index.stats())
+
+
+@pytest.mark.parametrize("dataset", ALL_DATASETS)
+def test_build_ic_star(benchmark, dataset, graphs, all_bounds):
+    graph = graphs(dataset)
+    bounds = all_bounds(dataset)
+    index = benchmark.pedantic(
+        lambda: build_index_star(graph, bounds=bounds),
+        rounds=1,
+        iterations=1,
+    )
+    stats = index.stats()
+    benchmark.extra_info.update(stats)
+    graph_bytes = _graph_size_bytes(graph)
+    benchmark.extra_info["graph_size_bytes"] = graph_bytes
+    # Paper: total index size is a small multiple of |G| (3.5x-6.1x on
+    # the real datasets); allow a generous band at our reduced scale.
+    ratio = stats["total_size_bytes"] / graph_bytes
+    benchmark.extra_info["size_ratio"] = ratio
+    assert ratio < 25
+
+
+def test_naive_index_feasible_only_on_smallest(benchmark, graphs):
+    """The basic index completes on Writers within the budget..."""
+    graph = graphs("Writers")
+    naive = benchmark.pedantic(
+        lambda: build_naive_index(graph, time_budget=NAIVE_BUDGET_SECONDS),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["size_bytes"] = naive.size_bytes()
+
+
+@pytest.mark.parametrize("dataset", ["Wikipedia", "DBLP"])
+def test_naive_index_times_out_on_large(benchmark, dataset, graphs):
+    """...and exceeds it on the large datasets (paper: >10^4 s on all
+    datasets except Writers)."""
+    graph = graphs(dataset)
+    budget = 2.0
+
+    def run():
+        with pytest.raises(NaiveIndexTimeout):
+            build_naive_index(graph, time_budget=budget)
+        return True
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1)

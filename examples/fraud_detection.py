@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Fraud-ring detection on a user–product network (the paper's intro use case).
+
+Scenario: an e-commerce platform models interactions as a bipartite
+user–product graph.  Fraud rings — users paid to promote the same set
+of products — show up as dense bicliques.  When one *seed* account is
+flagged (by user reports or rate monitoring), the investigator asks:
+"who is in this account's tightest group, and on which products?"
+That is exactly a personalized maximum biclique query.
+
+This example synthesizes a marketplace with organic traffic plus two
+planted fraud rings, flags one member of each ring as a seed, and shows
+that the personalized maximum biclique of each seed recovers its ring —
+while the *global* maximum biclique (what non-personalized search
+returns) only ever finds one of them.
+
+Run:  python examples/fraud_detection.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import Side, build_index_star, from_edges, pmbc_index_query
+from repro.mbc import maximum_biclique
+
+
+def synthesize_marketplace(seed: int = 7):
+    """Organic user-product edges plus two planted fraud rings."""
+    rng = random.Random(seed)
+    edges = []
+    users = [f"user{i:03d}" for i in range(120)]
+    products = [f"prod{i:03d}" for i in range(80)]
+    # Organic traffic: each user rates a few random products.
+    for user in users:
+        for product in rng.sample(products, rng.randint(1, 4)):
+            edges.append((user, product))
+    # Fraud ring A: 6 accounts boosting 5 products.
+    ring_a_users = [f"fraudA_{i}" for i in range(6)]
+    ring_a_products = rng.sample(products, 5)
+    edges += [(u, p) for u in ring_a_users for p in ring_a_products]
+    # Fraud ring B: 4 accounts boosting 7 products.
+    ring_b_users = [f"fraudB_{i}" for i in range(4)]
+    ring_b_products = rng.sample(products, 7)
+    edges += [(u, p) for u in ring_b_users for p in ring_b_products]
+    # Camouflage: ring members also generate organic-looking edges.
+    for user in ring_a_users + ring_b_users:
+        for product in rng.sample(products, 2):
+            edges.append((user, product))
+    return from_edges(edges), ring_a_users, ring_b_users
+
+
+def main() -> None:
+    graph, ring_a, ring_b = synthesize_marketplace()
+    print(f"marketplace graph: {graph}")
+
+    index = build_index_star(graph)
+    print(f"PMBC-Index built: {index.num_bicliques} bicliques stored\n")
+
+    # Global maximum biclique search sees only the single largest group.
+    top = maximum_biclique(graph, 2, 2)
+    top_users = {graph.label(Side.UPPER, u) for u in top.upper}
+    print(f"global maximum biclique flags only: {sorted(top_users)}\n")
+
+    # Personalized search, seeded with one known-bad account per ring.
+    for seed_account, ring in ((ring_a[0], ring_a), (ring_b[0], ring_b)):
+        q = graph.vertex_by_label(Side.UPPER, seed_account)
+        # tau_u=3: at least three coordinated accounts; tau_l=3: at
+        # least three boosted products — tunable investigation policy.
+        result = pmbc_index_query(index, Side.UPPER, q, tau_u=3, tau_l=3)
+        users, products = result.with_labels(graph)
+        suspects = sorted(users - {seed_account})
+        recovered = set(ring) <= users
+        print(f"seed {seed_account}:")
+        print(f"  suspicious group : {suspects}")
+        print(f"  boosted products : {sorted(products)}")
+        print(f"  full ring recovered: {recovered}\n")
+
+
+if __name__ == "__main__":
+    main()

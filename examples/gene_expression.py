@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Bicluster discovery in a gene–condition expression matrix.
+
+The paper's third application domain: in gene-expression analysis, a
+binary gene×condition matrix (gene g responds under condition c) is a
+bipartite graph, and a biclique is a *bicluster* — a set of genes that
+co-respond across a set of conditions.  Given one gene of interest
+(say, a known disease marker), its personalized maximum biclique is the
+largest co-expression module containing it.
+
+This example builds a synthetic expression matrix with three planted,
+partially overlapping modules, then recovers the module of a marker
+gene and compares against maximal-biclique enumeration (the classical
+bicluster-enumeration approach, which returns hundreds of candidates
+instead of one).
+
+Run:  python examples/gene_expression.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import Side, from_biadjacency, pmbc_online_star
+from repro.mbe import maximal_biclique_count
+
+NUM_GENES = 60
+NUM_CONDITIONS = 24
+
+# (gene range, condition range) of the planted modules; they overlap on
+# purpose so the personalized answer depends on the query gene.
+MODULES = [
+    (range(0, 10), range(0, 6)),
+    (range(6, 14), range(4, 12)),
+    (range(40, 46), range(15, 23)),
+]
+
+
+def synthesize_matrix(seed: int = 11):
+    rng = random.Random(seed)
+    matrix = [
+        [1 if rng.random() < 0.05 else 0 for __ in range(NUM_CONDITIONS)]
+        for __ in range(NUM_GENES)
+    ]
+    for genes, conditions in MODULES:
+        for g in genes:
+            for c in conditions:
+                matrix[g][c] = 1
+    return matrix
+
+
+def main() -> None:
+    matrix = synthesize_matrix()
+    graph = from_biadjacency(matrix)
+    print(f"gene–condition graph: {graph}")
+
+    total = maximal_biclique_count(graph)
+    print(f"maximal bicliques (all candidate biclusters): {total}")
+
+    for marker in (2, 8, 42):
+        module = pmbc_online_star(
+            graph, Side.UPPER, marker, tau_u=3, tau_l=3
+        )
+        genes = sorted(module.upper)
+        conditions = sorted(module.lower)
+        print(
+            f"\nmarker gene g{marker}: module of {len(genes)} genes x "
+            f"{len(conditions)} conditions ({module.num_edges} cells)"
+        )
+        print(f"  genes     : {['g%d' % g for g in genes]}")
+        print(f"  conditions: {['c%d' % c for c in conditions]}")
+
+    # Gene g8 sits in the overlap of modules 1 and 2; the τ parameters
+    # pick which module is reported: unconstrained the denser module 2
+    # wins (8x8 = 64 cells), but demanding ≥10 genes forces module 1.
+    for tau_g, tau_c in ((2, 2), (10, 2)):
+        module = pmbc_online_star(
+            graph, Side.UPPER, 8, tau_u=tau_g, tau_l=tau_c
+        )
+        print(
+            f"\ng8 with ≥{tau_g} genes, ≥{tau_c} conditions -> "
+            f"{len(module.upper)} genes x {len(module.lower)} conditions"
+        )
+
+
+if __name__ == "__main__":
+    main()

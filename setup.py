@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment ships setuptools without the ``wheel`` package, so the
+PEP 517 editable-install path is unavailable offline.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``pip install -e .`` on modern toolchains via pyproject.toml) work.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""Benchmark harness utilities.
+
+- :mod:`~repro.bench.workloads` — the paper's query workload: a random
+  sample from the highest-degree vertices;
+- :mod:`~repro.bench.harness` — timing helpers and result persistence;
+- :mod:`~repro.bench.tables` — paper-style table/series formatting.
+"""
+
+from repro.bench.workloads import (
+    low_degree_queries,
+    top_degree_queries,
+    uniform_queries,
+)
+from repro.bench.harness import (
+    Timed,
+    save_results,
+    time_callable,
+)
+from repro.bench.tables import format_series, format_table
+
+__all__ = [
+    "top_degree_queries",
+    "uniform_queries",
+    "low_degree_queries",
+    "Timed",
+    "time_callable",
+    "save_results",
+    "format_table",
+    "format_series",
+]

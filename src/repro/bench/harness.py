@@ -1,0 +1,59 @@
+"""Timing helpers and result persistence for the experiment harness."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+
+@dataclass
+class Timed:
+    """Wall-clock timing of a callable."""
+
+    seconds: float
+    result: object = None
+
+
+def time_callable(fn: Callable[[], object], repeat: int = 1) -> Timed:
+    """Run ``fn`` ``repeat`` times; report mean seconds and last result."""
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    result = None
+    start = time.perf_counter()
+    for __ in range(repeat):
+        result = fn()
+    elapsed = (time.perf_counter() - start) / repeat
+    return Timed(seconds=elapsed, result=result)
+
+
+def results_dir() -> Path:
+    """The directory experiment outputs are written to."""
+    root = Path(
+        os.environ.get(
+            "PMBC_RESULTS_DIR",
+            Path(__file__).resolve().parents[3] / "benchmarks" / "results",
+        )
+    )
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def save_results(name: str, payload: dict) -> Path:
+    """Persist one experiment's output as JSON; returns the file path."""
+    path = results_dir() / f"{name}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return path
+
+
+def load_results(name: str) -> dict | None:
+    """Load a previously saved experiment output, or None."""
+    path = results_dir() / f"{name}.json"
+    if not path.exists():
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,158 @@
+"""Render saved experiment results as a markdown report.
+
+Turns the ``benchmarks/results/*.json`` files produced by
+``run_experiments.py`` into the tables used in EXPERIMENTS.md, so the
+document can be regenerated from a fresh run:
+
+    python -m repro.bench.report > EXPERIMENTS_data.md
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import load_results
+
+
+def _md_table(headers: list[str], rows: list[list[object]]) -> str:
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for __ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def fig6_markdown() -> str | None:
+    data = load_results("fig6_query_time")
+    if data is None:
+        return None
+    rows = []
+    for name, entry in data.items():
+        ol = entry["PMBC-OL_ms"]
+        iq = entry["PMBC-IQ_ms"]
+        rows.append(
+            [
+                name,
+                ol,
+                entry["PMBC-OL*_ms"],
+                iq,
+                f"{ol / iq:.0f}x" if iq else "-",
+            ]
+        )
+    return "### Fig 6 — mean query time (ms), τ_U = τ_L = 5\n\n" + _md_table(
+        ["Dataset", "PMBC-OL", "PMBC-OL*", "PMBC-IQ", "IQ speedup"], rows
+    )
+
+
+def fig7_markdown() -> str | None:
+    data = load_results("fig7_vary_tau")
+    if data is None:
+        return None
+    sections = []
+    taus = [2, 4, 6, 8, 10]
+    for name, series in data.items():
+        rows = [
+            [tau] + [series[algo][i] for algo in series]
+            for i, tau in enumerate(taus)
+        ]
+        sections.append(
+            f"### Fig 7 ({name}) — query time (ms) vs τ\n\n"
+            + _md_table(["τ"] + list(series), rows)
+        )
+    return "\n\n".join(sections)
+
+
+def table3_markdown() -> str | None:
+    data = load_results("table3_index_build")
+    if data is None:
+        return None
+    rows = []
+    basic = data.pop("basic_index", None)
+    for name, entry in data.items():
+        total = entry["tree_kb"] + entry["array_kb"]
+        rows.append(
+            [
+                name,
+                entry["IC_seconds"],
+                entry["IC_star_seconds"],
+                entry["graph_kb"],
+                entry["tree_kb"],
+                entry["array_kb"],
+                total / entry["graph_kb"],
+            ]
+        )
+    out = "### Table III — indexing time and size\n\n" + _md_table(
+        ["Dataset", "IC (s)", "IC* (s)", "|G| KB", "|T| KB", "|A| KB",
+         "ratio"],
+        rows,
+    )
+    if basic:
+        out += (
+            f"\n\nBasic index on {basic['dataset']}: "
+            f"{basic['seconds']:.2f}s, {basic['kb']:.1f} KB."
+        )
+    return out
+
+
+def fig8_markdown() -> str | None:
+    data = load_results("fig8_parallel")
+    if data is None:
+        return None
+    threads = [1, 8, 16, 24, 32, 40, 48]
+    sections = []
+    for name, series in data.items():
+        rows = [
+            [t] + [series[key][i] for key in series]
+            for i, t in enumerate(threads)
+        ]
+        sections.append(
+            f"### Fig 8 ({name}) — speedup vs threads\n\n"
+            + _md_table(["t"] + list(series), rows)
+        )
+    return "\n\n".join(sections)
+
+
+def fig9_markdown() -> str | None:
+    data = load_results("fig9_scalability")
+    if data is None:
+        return None
+    fractions = [0.2, 0.4, 0.6, 0.8, 1.0]
+    sections = []
+    for name, series in data.items():
+        rows = [
+            [f] + [series[key][i] for key in series]
+            for i, f in enumerate(fractions)
+        ]
+        sections.append(
+            f"### Fig 9 ({name}) — build seconds vs edge fraction\n\n"
+            + _md_table(["fraction"] + list(series), rows)
+        )
+    return "\n\n".join(sections)
+
+
+def full_report() -> str:
+    """Concatenate every available section (missing ones are skipped)."""
+    sections = [
+        section
+        for section in (
+            fig6_markdown(),
+            fig7_markdown(),
+            table3_markdown(),
+            fig8_markdown(),
+            fig9_markdown(),
+        )
+        if section is not None
+    ]
+    if not sections:
+        return (
+            "No results found — run `python benchmarks/run_experiments.py` "
+            "first."
+        )
+    return "\n\n".join(sections)
+
+
+if __name__ == "__main__":
+    print(full_report())

@@ -1,0 +1,284 @@
+"""Command-line interface: ``pmbc``.
+
+Subcommands:
+
+- ``pmbc build <edges-file> -o index.json`` — build a PMBC-Index from a
+  KONECT or plain edge-list file and save it;
+- ``pmbc query <edges-file> --index index.json --side upper --vertex 3
+  --tau-u 2 --tau-l 2`` — answer a personalized query (index-based when
+  an index file is given, online otherwise);
+- ``pmbc stats <edges-file>`` — graph and index statistics;
+- ``pmbc datasets`` — list the built-in dataset zoo.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core import (
+    PMBCIndex,
+    build_index,
+    build_index_star,
+    load_binary,
+    pmbc_index_query,
+    pmbc_online_star,
+    save_binary,
+)
+from repro.core.serialize import MAGIC as _BINARY_MAGIC
+from repro.graph.bipartite import BipartiteGraph, Side
+from repro.graph.io import read_edge_list, read_konect
+
+
+def _load_graph(path: str, konect: bool) -> BipartiteGraph:
+    reader = read_konect if konect else read_edge_list
+    return reader(path)
+
+
+def _side(value: str) -> Side:
+    try:
+        return Side(value.lower())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"side must be 'upper' or 'lower', got {value!r}"
+        )
+
+
+def _load_index(path: str) -> PMBCIndex:
+    """Load a saved index, sniffing JSON vs binary by the magic bytes."""
+    with open(path, "rb") as handle:
+        head = handle.read(len(_BINARY_MAGIC))
+    if head == _BINARY_MAGIC:
+        return load_binary(path)
+    return PMBCIndex.load(path)
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, args.konect)
+    builder = build_index if args.no_cost_sharing else build_index_star
+    start = time.perf_counter()
+    index = builder(graph)
+    elapsed = time.perf_counter() - start
+    if args.binary:
+        save_binary(index, args.output)
+    else:
+        index.save(args.output)
+    stats = index.stats()
+    print(
+        f"built PMBC-Index in {elapsed:.2f}s: "
+        f"{stats['num_tree_nodes']} tree nodes, "
+        f"{stats['num_bicliques']} bicliques, "
+        f"{stats['total_size_bytes']} bytes -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, args.konect)
+    side = args.side
+    if args.label is not None:
+        vertex = graph.vertex_by_label(side, args.label)
+    elif args.vertex is not None:
+        vertex = args.vertex
+    else:
+        print("error: provide --vertex or --label", file=sys.stderr)
+        return 2
+    start = time.perf_counter()
+    if args.index:
+        index = _load_index(args.index)
+        result = pmbc_index_query(index, side, vertex, args.tau_u, args.tau_l)
+    else:
+        result = pmbc_online_star(graph, side, vertex, args.tau_u, args.tau_l)
+    elapsed = time.perf_counter() - start
+    if result is None:
+        print(f"no biclique satisfies the constraints ({elapsed * 1e3:.3f} ms)")
+        return 1
+    upper_labels, lower_labels = result.with_labels(graph)
+    payload = {
+        "shape": list(result.shape),
+        "edges": result.num_edges,
+        "upper": sorted(map(str, upper_labels)),
+        "lower": sorted(map(str, lower_labels)),
+        "milliseconds": elapsed * 1e3,
+    }
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _cmd_topk(args: argparse.Namespace) -> int:
+    from repro.core import pmbc_index_topk
+
+    graph = _load_graph(args.graph, args.konect)
+    side = args.side
+    if args.label is not None:
+        vertex = graph.vertex_by_label(side, args.label)
+    else:
+        vertex = args.vertex
+    index = _load_index(args.index)
+    results = pmbc_index_topk(
+        index, side, vertex, args.k, args.tau_u, args.tau_l
+    )
+    payload = []
+    for biclique in results:
+        upper_labels, lower_labels = biclique.with_labels(graph)
+        payload.append(
+            {
+                "shape": list(biclique.shape),
+                "edges": biclique.num_edges,
+                "upper": sorted(map(str, upper_labels)),
+                "lower": sorted(map(str, lower_labels)),
+            }
+        )
+    print(json.dumps(payload, indent=2))
+    return 0 if payload else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, args.konect)
+    print(
+        f"|U|={graph.num_upper} |L|={graph.num_lower} "
+        f"|E|={graph.num_edges} "
+        f"max_deg_U={graph.max_degree(Side.UPPER)} "
+        f"max_deg_L={graph.max_degree(Side.LOWER)}"
+    )
+    if args.index:
+        index = _load_index(args.index)
+        print(json.dumps(index.stats(), indent=2))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the paper's experiment matrix (delegates to the harness)."""
+    import runpy
+    import sys as _sys
+    from pathlib import Path
+
+    script = (
+        Path(__file__).resolve().parents[2] / "benchmarks" / "run_experiments.py"
+    )
+    if not script.exists():
+        print(
+            "benchmarks/run_experiments.py not found (installed without "
+            "the repository checkout); clone the repo to run experiments",
+            file=sys.stderr,
+        )
+        return 2
+    argv = [str(script)]
+    if args.quick:
+        argv.append("--quick")
+    old_argv = _sys.argv
+    try:
+        _sys.argv = argv
+        runpy.run_path(str(script), run_name="__main__")
+    except SystemExit as exit_info:
+        return int(exit_info.code or 0)
+    finally:
+        _sys.argv = old_argv
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from repro.datasets.zoo import ZOO, load_dataset
+
+    for name, dataset_spec in ZOO.items():
+        line = (
+            f"{name:<14} {dataset_spec.category:<12} "
+            f"target |E|={dataset_spec.num_edges:<6} "
+            f"(paper: {dataset_spec.paper_edges:,})"
+        )
+        if args.generate or args.stats:
+            graph = load_dataset(name)
+            line += (
+                f"  generated |U|={graph.num_upper} |L|={graph.num_lower} "
+                f"|E|={graph.num_edges}"
+            )
+        if args.stats:
+            from repro.graph.stats import graph_stats
+
+            stats = graph_stats(load_dataset(name))
+            line += (
+                f"  deg_U(mean/max)={stats.upper.mean_degree:.1f}/"
+                f"{stats.upper.max_degree}"
+                f"  deg_L(mean/max)={stats.lower.mean_degree:.1f}/"
+                f"{stats.lower.max_degree}"
+                f"  hub%={100 * max(stats.upper.hub_fraction, stats.lower.hub_fraction):.0f}"
+            )
+        print(line)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pmbc",
+        description="Personalized maximum biclique search (ICDE 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="build and save a PMBC-Index")
+    p_build.add_argument("graph", help="edge-list file")
+    p_build.add_argument("-o", "--output", required=True)
+    p_build.add_argument("--konect", action="store_true",
+                         help="input is KONECT out.* format")
+    p_build.add_argument("--no-cost-sharing", action="store_true",
+                         help="use PMBC-IC instead of PMBC-IC*")
+    p_build.add_argument("--binary", action="store_true",
+                         help="write the compact binary format")
+    p_build.set_defaults(fn=_cmd_build)
+
+    p_query = sub.add_parser("query", help="answer a personalized query")
+    p_query.add_argument("graph")
+    p_query.add_argument("--konect", action="store_true")
+    p_query.add_argument("--index", help="saved index (online search if omitted)")
+    p_query.add_argument("--side", type=_side, required=True)
+    p_query.add_argument("--vertex", type=int)
+    p_query.add_argument("--label", help="query by vertex label instead of id")
+    p_query.add_argument("--tau-u", type=int, default=1)
+    p_query.add_argument("--tau-l", type=int, default=1)
+    p_query.set_defaults(fn=_cmd_query)
+
+    p_topk = sub.add_parser(
+        "topk", help="k largest distinct personalized groups of a vertex"
+    )
+    p_topk.add_argument("graph")
+    p_topk.add_argument("--konect", action="store_true")
+    p_topk.add_argument("--index", required=True)
+    p_topk.add_argument("--side", type=_side, required=True)
+    p_topk.add_argument("--vertex", type=int)
+    p_topk.add_argument("--label")
+    p_topk.add_argument("-k", type=int, default=3)
+    p_topk.add_argument("--tau-u", type=int, default=1)
+    p_topk.add_argument("--tau-l", type=int, default=1)
+    p_topk.set_defaults(fn=_cmd_topk)
+
+    p_stats = sub.add_parser("stats", help="graph / index statistics")
+    p_stats.add_argument("graph")
+    p_stats.add_argument("--konect", action="store_true")
+    p_stats.add_argument("--index")
+    p_stats.set_defaults(fn=_cmd_stats)
+
+    p_data = sub.add_parser("datasets", help="list the dataset zoo")
+    p_data.add_argument("--generate", action="store_true",
+                        help="also generate each graph and report its size")
+    p_data.add_argument("--stats", action="store_true",
+                        help="also report degree statistics")
+    p_data.set_defaults(fn=_cmd_datasets)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the paper's experiment matrix"
+    )
+    p_bench.add_argument("--quick", action="store_true",
+                         help="smallest datasets, reduced workload")
+    p_bench.set_defaults(fn=_cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,287 @@
+"""Dynamic maintenance of the PMBC-Index (the paper's future work).
+
+Section VIII closes with: "solutions for solving this problem under a
+dynamic environment is an interesting research direction for future
+studies."  This module implements the natural affected-set maintenance
+scheme on top of the static constructors:
+
+- An edge ``(u, v)`` only influences the answer of a query vertex ``x``
+  when the edge lies inside ``x``'s two-hop subgraph *and* can
+  participate in an ``x``-containing biclique — which requires ``x`` to
+  be adjacent to the endpoint on the opposite layer.  Hence the
+  **affected set** of an update is ``N(v) ∪ {u}`` on the upper layer
+  and ``N(u) ∪ {v}`` on the lower layer (neighborhoods taken *after*
+  an insertion and *before* a deletion), and only those vertices'
+  search trees need rebuilding.
+- The (α,β)-core bounds are global pruning structures, so they are
+  recomputed per update batch (they are cheap relative to tree
+  rebuilds and stale bounds could over-prune).
+- Deleted edges can strand biclique instances in the array ``A``;
+  they become unreachable (every tree referencing a broken biclique is
+  in the affected set) and :meth:`DynamicPMBCIndex.compact` garbage
+  collects them.
+
+Rebuilding a tree costs the same as during construction —
+``O(deg(x) · TC(PMBC-OL*))`` — so an update touches
+``O(deg(u) + deg(v))`` trees instead of all ``n``.
+"""
+
+from __future__ import annotations
+
+from repro.core.construction import build_search_tree
+from repro.core.index import BicliqueArray, PMBCIndex, SearchTree
+from repro.core.query import pmbc_index_query
+from repro.core.result import Biclique
+from repro.corenum.bounds import CoreBounds, compute_bounds
+from repro.graph.bipartite import BipartiteGraph, Side
+
+
+class DynamicPMBCIndex:
+    """A PMBC-Index that stays correct under edge insertions/deletions."""
+
+    def __init__(
+        self, graph: BipartiteGraph, use_core_bounds: bool = True
+    ) -> None:
+        self._adj: dict[Side, list[set[int]]] = {
+            side: [
+                set(graph.neighbors(side, v))
+                for v in range(graph.num_vertices_on(side))
+            ]
+            for side in Side
+        }
+        self._use_core_bounds = use_core_bounds
+        self._snapshot: BipartiteGraph | None = None
+        self._bounds: CoreBounds | None = None
+        self._array = BicliqueArray()
+        self._trees: dict[Side, list[SearchTree]] = {}
+        self.trees_rebuilt = 0
+        self._rebuild_all()
+
+    # ------------------------------------------------------------------
+    # Graph state
+    # ------------------------------------------------------------------
+    def graph(self) -> BipartiteGraph:
+        """An immutable snapshot of the current graph."""
+        if self._snapshot is None:
+            self._snapshot = BipartiteGraph(
+                [sorted(ns) for ns in self._adj[Side.UPPER]],
+                num_lower=len(self._adj[Side.LOWER]),
+            )
+        return self._snapshot
+
+    def num_vertices_on(self, side: Side) -> int:
+        return len(self._adj[side])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether edge ``(u, v)`` (upper id, lower id) currently exists."""
+        if u >= len(self._adj[Side.UPPER]) or v >= len(self._adj[Side.LOWER]):
+            return False
+        return v in self._adj[Side.UPPER][u]
+
+    @property
+    def index(self) -> PMBCIndex:
+        """The current index as a plain (static) PMBCIndex view."""
+        return PMBCIndex(
+            num_upper=len(self._adj[Side.UPPER]),
+            num_lower=len(self._adj[Side.LOWER]),
+            trees=self._trees,
+            array=self._array,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(
+        self, side: Side, q: int, tau_u: int = 1, tau_l: int = 1
+    ) -> Biclique | None:
+        """PMBC-IQ against the maintained index."""
+        return pmbc_index_query(self.index, side, q, tau_u, tau_l)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: int, v: int) -> int:
+        """Insert edge ``(u, v)``; new vertex ids extend the layers.
+
+        Returns the number of search trees rebuilt.
+        """
+        if u < 0 or v < 0:
+            raise ValueError(f"vertex ids must be non-negative: ({u}, {v})")
+        self._grow(Side.UPPER, u)
+        self._grow(Side.LOWER, v)
+        if v in self._adj[Side.UPPER][u]:
+            return 0  # already present
+        self._adj[Side.UPPER][u].add(v)
+        self._adj[Side.LOWER][v].add(u)
+        self._invalidate()
+        return self._rebuild_affected(u, v)
+
+    def delete_edge(self, u: int, v: int) -> int:
+        """Delete edge ``(u, v)``; raises KeyError when absent.
+
+        Returns the number of search trees rebuilt.  Deletions keep the
+        cached (α,β)-core bounds: cores only shrink when edges leave, so
+        the stale bounds remain valid (merely looser) upper bounds.
+        """
+        if not self.has_edge(u, v):
+            raise KeyError(f"edge ({u}, {v}) not in graph")
+        # Affected neighborhoods are taken before the deletion.
+        affected_upper = set(self._adj[Side.LOWER][v]) | {u}
+        affected_lower = set(self._adj[Side.UPPER][u]) | {v}
+        self._adj[Side.UPPER][u].discard(v)
+        self._adj[Side.LOWER][v].discard(u)
+        self._snapshot = None  # bounds stay: still valid after deletion
+        return self._rebuild(affected_upper, affected_lower)
+
+    def apply_updates(
+        self, updates: list[tuple[str, int, int]]
+    ) -> int:
+        """Apply a batch of ``("insert"|"delete", u, v)`` updates.
+
+        All graph mutations happen first, then the union of affected
+        trees is rebuilt once — cheaper than per-edge maintenance when
+        updates cluster around the same vertices.  Returns the number
+        of trees rebuilt.  Invalid updates (deleting a missing edge,
+        inserting an existing one) raise before any rebuild happens;
+        the graph mutations preceding the failure remain applied.
+        """
+        affected_upper: set[int] = set()
+        affected_lower: set[int] = set()
+        bounds_stale = False
+        for action, u, v in updates:
+            if action == "insert":
+                self._grow(Side.UPPER, u)
+                self._grow(Side.LOWER, v)
+                if v in self._adj[Side.UPPER][u]:
+                    raise KeyError(f"edge ({u}, {v}) already present")
+                self._adj[Side.UPPER][u].add(v)
+                self._adj[Side.LOWER][v].add(u)
+                bounds_stale = True
+                affected_upper |= self._adj[Side.LOWER][v]
+                affected_lower |= self._adj[Side.UPPER][u]
+            elif action == "delete":
+                if not self.has_edge(u, v):
+                    raise KeyError(f"edge ({u}, {v}) not in graph")
+                affected_upper |= self._adj[Side.LOWER][v]
+                affected_lower |= self._adj[Side.UPPER][u]
+                self._adj[Side.UPPER][u].discard(v)
+                self._adj[Side.LOWER][v].discard(u)
+            else:
+                raise ValueError(f"unknown update action {action!r}")
+            affected_upper.add(u)
+            affected_lower.add(v)
+        self._snapshot = None
+        if bounds_stale:
+            self._bounds = None
+        return self._rebuild(affected_upper, affected_lower)
+
+    def delete_vertex(self, side: Side, v: int) -> int:
+        """Remove all incident edges of ``v`` (the vertex id remains,
+        with an empty tree).  Returns the number of trees rebuilt."""
+        if not 0 <= v < len(self._adj[side]):
+            raise ValueError(
+                f"vertex {v} out of range for the {side.value} layer"
+            )
+        neighbors = sorted(self._adj[side][v])
+        if not neighbors:
+            return 0
+        if side is Side.UPPER:
+            updates = [("delete", v, w) for w in neighbors]
+        else:
+            updates = [("delete", w, v) for w in neighbors]
+        return self.apply_updates(updates)
+
+    def insert_vertex(
+        self, side: Side, neighbors: list[int]
+    ) -> tuple[int, int]:
+        """Add a fresh vertex on ``side`` connected to ``neighbors``.
+
+        Returns ``(new_vertex_id, trees_rebuilt)``.
+        """
+        new_id = len(self._adj[side])
+        if not neighbors:
+            self._grow(side, new_id)
+            return new_id, 0
+        if side is Side.UPPER:
+            updates = [("insert", new_id, w) for w in sorted(set(neighbors))]
+        else:
+            updates = [("insert", w, new_id) for w in sorted(set(neighbors))]
+        rebuilt = self.apply_updates(updates)
+        return new_id, rebuilt
+
+    def compact(self) -> int:
+        """Garbage-collect unreferenced bicliques; returns the number
+        removed.  Tree pointers are remapped in place."""
+        referenced: set[int] = set()
+        for side in Side:
+            for tree in self._trees[side]:
+                for node in tree.walk():
+                    if node.biclique_id is not None:
+                        referenced.add(node.biclique_id)
+        fresh = BicliqueArray()
+        remap: dict[int, int] = {}
+        for old_id in sorted(referenced):
+            new_id, __ = fresh.add(self._array[old_id])
+            remap[old_id] = new_id
+        removed = len(self._array) - len(fresh)
+        for side in Side:
+            for tree in self._trees[side]:
+                for node in tree.walk():
+                    if node.biclique_id is not None:
+                        node.biclique_id = remap[node.biclique_id]
+        self._array = fresh
+        return removed
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _grow(self, side: Side, v: int) -> None:
+        while v >= len(self._adj[side]):
+            self._adj[side].append(set())
+            self._trees[side].append(SearchTree())
+            self._snapshot = None
+
+    def _invalidate(self) -> None:
+        self._snapshot = None
+        self._bounds = None
+
+    def _current_bounds(self) -> CoreBounds | None:
+        if not self._use_core_bounds:
+            return None
+        if self._bounds is None:
+            self._bounds = compute_bounds(self.graph())
+        return self._bounds
+
+    def _rebuild_affected(self, u: int, v: int) -> int:
+        affected_upper = set(self._adj[Side.LOWER][v]) | {u}
+        affected_lower = set(self._adj[Side.UPPER][u]) | {v}
+        return self._rebuild(affected_upper, affected_lower)
+
+    def _rebuild(
+        self, affected_upper: set[int], affected_lower: set[int]
+    ) -> int:
+        graph = self.graph()
+        bounds = self._current_bounds()
+        count = 0
+        for side, affected in (
+            (Side.UPPER, affected_upper),
+            (Side.LOWER, affected_lower),
+        ):
+            for x in affected:
+                self._trees[side][x] = build_search_tree(
+                    graph, side, x, self._array, bounds
+                )
+                count += 1
+        self.trees_rebuilt += count
+        return count
+
+    def _rebuild_all(self) -> None:
+        graph = self.graph()
+        bounds = self._current_bounds()
+        self._trees = {
+            side: [
+                build_search_tree(graph, side, q, self._array, bounds)
+                for q in range(graph.num_vertices_on(side))
+            ]
+            for side in Side
+        }

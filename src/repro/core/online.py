@@ -1,0 +1,204 @@
+"""Online personalized maximum biclique search: PMBC-OL and PMBC-OL*.
+
+``pmbc_online`` implements Algorithm 1: extract the two-hop subgraph
+``H_q`` (the answer lives entirely inside it — Lemma 1), seed with a
+greedy biclique, then run the progressive-bounding maximum biclique
+search.  ``pmbc_online_star`` is Algorithm 5: the same search
+accelerated by the precomputed (α,β)-core bounds of Section VI-C
+(Lemma 9 vertex pruning plus the prefix/suffix bounds inside
+Branch&Bound).
+"""
+
+from __future__ import annotations
+
+from repro.core.result import Biclique
+from repro.corenum.bounds import CoreBounds
+from repro.graph.bipartite import BipartiteGraph, Side
+from repro.graph.subgraph import LocalGraph, two_hop_subgraph
+from repro.mbc.greedy import greedy_biclique
+from repro.mbc.progressive import SearchOptions, maximum_biclique_local
+
+
+def pmbc_online(
+    graph: BipartiteGraph,
+    side: Side,
+    q: int,
+    tau_u: int = 1,
+    tau_l: int = 1,
+    seed: Biclique | None = None,
+    bounds: CoreBounds | None = None,
+    max_u: int | None = None,
+    max_l: int | None = None,
+    use_two_hop_reduction: bool = True,
+) -> Biclique | None:
+    """The personalized maximum biclique ``C^q_{τU,τL}`` (Definition 3).
+
+    Parameters
+    ----------
+    graph, side, q:
+        The bipartite graph and the query vertex (layer + id).
+    tau_u, tau_l:
+        Layer-size constraints on the answer (≥ 1).
+    seed:
+        An optional known valid biclique containing ``q`` that already
+        satisfies the constraints — used as a search lower bound
+        (Lemma 7 cost-sharing).  The greedy seed is computed regardless
+        and the larger of the two is used.
+    bounds:
+        Precomputed :class:`~repro.corenum.bounds.CoreBounds`; when
+        given, the search runs as PMBC-OL*.
+    max_u, max_l:
+        Optional Lemma 6 caps on the answer shape, used by the index
+        constructor.  They are redundant for correctness (any
+        constraint-valid candidate obeys them) and only prune search.
+
+    Returns the maximum-edge biclique containing ``q`` with
+    ``|U| ≥ tau_u`` and ``|L| ≥ tau_l``, or None when none exists.
+    """
+    _validate_query(graph, side, q, tau_u, tau_l)
+    local = two_hop_subgraph(graph, side, q)
+    return pmbc_online_local(
+        local,
+        tau_u,
+        tau_l,
+        seed=seed,
+        bounds=bounds,
+        max_u=max_u,
+        max_l=max_l,
+        use_two_hop_reduction=use_two_hop_reduction,
+    )
+
+
+def pmbc_online_local(
+    local: LocalGraph,
+    tau_u: int,
+    tau_l: int,
+    seed: Biclique | None = None,
+    bounds: CoreBounds | None = None,
+    max_u: int | None = None,
+    max_l: int | None = None,
+    use_two_hop_reduction: bool = True,
+) -> Biclique | None:
+    """PMBC-OL on an already-extracted two-hop subgraph.
+
+    The index constructor calls the search many times per vertex with
+    different constraints; reusing the extracted ``H_q`` avoids
+    rebuilding it per tree node.  Constraints, caps, seed and result
+    are all in global coordinates; the local orientation is resolved
+    here via ``local.upper_side``.
+    """
+    side = local.upper_side
+    if side is Side.UPPER:
+        tau_p, tau_w = tau_u, tau_l
+        max_p, max_w = max_u, max_l
+    else:
+        tau_p, tau_w = tau_l, tau_u
+        max_p, max_w = max_l, max_u
+
+    local_seed = _best_local_seed(local, seed, side, tau_p, tau_w)
+    options = SearchOptions(
+        bounds=bounds,
+        max_p=max_p,
+        max_w=max_w,
+        use_two_hop_reduction=use_two_hop_reduction,
+    )
+    found = maximum_biclique_local(local, tau_p, tau_w, local_seed, options)
+    if found is None:
+        return None
+    return _to_biclique(local, found)
+
+
+def pmbc_online_star(
+    graph: BipartiteGraph,
+    side: Side,
+    q: int,
+    tau_u: int = 1,
+    tau_l: int = 1,
+    bounds: CoreBounds | None = None,
+    seed: Biclique | None = None,
+    max_u: int | None = None,
+    max_l: int | None = None,
+) -> Biclique | None:
+    """PMBC-OL* (Algorithm 5): PMBC-OL with (α,β)-core upper bounds.
+
+    ``bounds`` should be precomputed once per graph (the paper computes
+    them offline); when omitted they are computed on the fly, which is
+    correct but defeats the purpose for repeated queries.
+    """
+    from repro.corenum.bounds import compute_bounds
+
+    if bounds is None:
+        bounds = compute_bounds(graph)
+    return pmbc_online(
+        graph,
+        side,
+        q,
+        tau_u,
+        tau_l,
+        seed=seed,
+        bounds=bounds,
+        max_u=max_u,
+        max_l=max_l,
+    )
+
+
+def _validate_query(
+    graph: BipartiteGraph, side: Side, q: int, tau_u: int, tau_l: int
+) -> None:
+    if not 0 <= q < graph.num_vertices_on(side):
+        raise ValueError(
+            f"query vertex {q} out of range for the {side.value} layer"
+        )
+    if tau_u < 1 or tau_l < 1:
+        raise ValueError(
+            f"size constraints must be >= 1, got ({tau_u}, {tau_l})"
+        )
+
+
+def _best_local_seed(
+    local: LocalGraph,
+    seed: Biclique | None,
+    side: Side,
+    tau_p: int,
+    tau_w: int,
+) -> tuple[frozenset[int], frozenset[int]] | None:
+    """The larger of the greedy seed and the caller-provided seed."""
+    best = greedy_biclique(local, tau_p, tau_w)
+    if seed is not None:
+        local_seed = _seed_to_local(local, seed, side)
+        if local_seed is not None and (
+            len(local_seed[0]) >= tau_p and len(local_seed[1]) >= tau_w
+        ):
+            if best is None or (
+                len(local_seed[0]) * len(local_seed[1])
+                > len(best[0]) * len(best[1])
+            ):
+                best = local_seed
+    return best
+
+
+def _seed_to_local(
+    local: LocalGraph, seed: Biclique, side: Side
+) -> tuple[frozenset[int], frozenset[int]] | None:
+    """Map a global-coordinate seed into local ids (None if outside H_q)."""
+    if side is Side.UPPER:
+        own_globals, other_globals = seed.upper, seed.lower
+    else:
+        own_globals, other_globals = seed.lower, seed.upper
+    upper_index = {g: i for i, g in enumerate(local.upper_globals)}
+    lower_index = {g: i for i, g in enumerate(local.lower_globals)}
+    try:
+        upper = frozenset(upper_index[g] for g in own_globals)
+        lower = frozenset(lower_index[g] for g in other_globals)
+    except KeyError:
+        return None
+    return upper, lower
+
+
+def _to_biclique(
+    local: LocalGraph, found: tuple[frozenset[int], frozenset[int]]
+) -> Biclique:
+    side, own, other = local.to_global(found[0], found[1])
+    if side is Side.UPPER:
+        return Biclique(upper=own, lower=other)
+    return Biclique(upper=other, lower=own)

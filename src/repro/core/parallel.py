@@ -1,0 +1,184 @@
+"""Shared-memory parallel index construction (Algorithm 6) + Fig 8 model.
+
+Two pieces:
+
+1. :func:`build_index_parallel` — a real concurrent builder: worker
+   threads take vertices from a shared queue (the paper's OpenMP
+   *dynamic scheduling*), and appends into the shared biclique array
+   ``A`` and skyline index ``S`` are serialized through locks — the
+   CPython stand-in for the paper's atomic fetch-and-add slot
+   allocation.  Because the per-vertex searches are pure Python, the
+   GIL prevents wall-clock speedup on this substrate; the builder
+   exists to reproduce the *algorithm* (correctness under concurrent
+   construction is covered by tests).
+
+2. :func:`simulate_parallel_schedule` — the Fig 8 measurement model:
+   given measured per-vertex task costs from an instrumented
+   sequential run, compute the makespan of greedy dynamic scheduling
+   onto ``t`` workers.  This is precisely the quantity Fig 8 reports
+   (workload-balance-limited speedup of an embarrassingly parallel
+   per-vertex loop), derived from real measured costs rather than a
+   GIL-bound thread race.  See DESIGN.md ("Substitutions").
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from dataclasses import dataclass
+from queue import Empty, Queue
+
+from repro.core.construction import build_search_tree
+from repro.core.index import BicliqueArray, PMBCIndex, SearchTree
+from repro.core.skyline import SkylineIndex
+from repro.corenum.bounds import CoreBounds, compute_bounds
+from repro.graph.bipartite import BipartiteGraph, Side
+
+
+class _LockedBicliqueArray(BicliqueArray):
+    """BicliqueArray with a lock around slot allocation.
+
+    Mirrors the paper's scheme of atomically incrementing the array
+    fill counter before writing the element.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lock = threading.Lock()
+
+    def add(self, biclique):
+        with self._lock:
+            return super().add(biclique)
+
+
+def build_index_parallel(
+    graph: BipartiteGraph,
+    num_threads: int = 4,
+    use_skyline: bool = True,
+    bounds: CoreBounds | None = None,
+    use_core_bounds: bool = True,
+) -> PMBCIndex:
+    """Algorithm 6: build the PMBC-Index with ``num_threads`` workers.
+
+    ``use_skyline`` selects PMBC-IC* (the paper's Algorithm 6) versus
+    the parallelized PMBC-IC the paper mentions as the same technique.
+    The result is equivalent (same query answers, Lemma 8/size bounds)
+    to a sequential build, though the array order and cost-sharing hits
+    depend on scheduling.
+    """
+    if num_threads < 1:
+        raise ValueError(f"num_threads must be >= 1, got {num_threads}")
+    if bounds is None and use_core_bounds:
+        bounds = compute_bounds(graph)
+    array = _LockedBicliqueArray()
+    skyline = (
+        SkylineIndex(graph, array, locking=True) if use_skyline else None
+    )
+    trees: dict[Side, list[SearchTree]] = {
+        side: [SearchTree() for __ in range(graph.num_vertices_on(side))]
+        for side in Side
+    }
+
+    tasks: Queue[tuple[Side, int]] = Queue()
+    for side in Side:
+        for q in range(graph.num_vertices_on(side)):
+            tasks.put((side, q))
+
+    errors: list[BaseException] = []
+
+    def worker() -> None:
+        while True:
+            try:
+                side, q = tasks.get_nowait()
+            except Empty:
+                return
+            try:
+                trees[side][q] = build_search_tree(
+                    graph, side, q, array, bounds, skyline
+                )
+            except BaseException as exc:  # propagate to the caller
+                errors.append(exc)
+                return
+
+    threads = [
+        threading.Thread(target=worker, name=f"pmbc-ic-{i}")
+        for i in range(num_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return PMBCIndex(
+        num_upper=graph.num_upper,
+        num_lower=graph.num_lower,
+        trees=trees,
+        array=array,
+    )
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of a simulated dynamic schedule."""
+
+    num_workers: int
+    makespan: float
+    total_work: float
+
+    @property
+    def speedup(self) -> float:
+        """Speedup versus one worker (= total work / makespan)."""
+        if self.makespan == 0:
+            return float(self.num_workers)
+        return self.total_work / self.makespan
+
+
+def simulate_parallel_schedule(
+    task_costs: list[float], num_workers: int
+) -> ScheduleResult:
+    """Makespan of greedy dynamic scheduling of ``task_costs``.
+
+    Tasks are taken in order by whichever worker frees up first —
+    OpenMP ``schedule(dynamic)`` with chunk size 1, the paper's
+    setting.  With measured per-vertex costs this reproduces the Fig 8
+    speedup curves, including the sub-linear tapering caused by skewed
+    per-vertex workloads.
+    """
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    total = sum(task_costs)
+    if not task_costs:
+        return ScheduleResult(num_workers, 0.0, 0.0)
+    workers = [0.0] * min(num_workers, len(task_costs))
+    heapq.heapify(workers)
+    for cost in task_costs:
+        free_at = heapq.heappop(workers)
+        heapq.heappush(workers, free_at + cost)
+    return ScheduleResult(num_workers, max(workers), total)
+
+
+def measure_task_costs(
+    graph: BipartiteGraph,
+    use_skyline: bool = True,
+    bounds: CoreBounds | None = None,
+) -> tuple[PMBCIndex, list[float]]:
+    """Instrumented sequential build returning per-vertex costs.
+
+    The cost list concatenates upper- then lower-layer vertices, the
+    order the parallel queue would hand them out.
+    """
+    from repro.core.construction import _build
+
+    index, stats = _build(
+        graph,
+        use_skyline=use_skyline,
+        bounds=bounds,
+        use_core_bounds=True,
+        instrument=True,
+    )
+    costs = (
+        stats.per_vertex_seconds[Side.UPPER]
+        + stats.per_vertex_seconds[Side.LOWER]
+    )
+    return index, costs

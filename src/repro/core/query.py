@@ -1,0 +1,92 @@
+"""PMBC-IQ — index-based query processing (Algorithm 2).
+
+Walk the query vertex's search tree from the root: a node whose stored
+biclique satisfies the size constraints is the answer (the first hit is
+maximal by Lemma 2); otherwise descend into the unique child whose
+``(τ_U, τ_L)`` is dominated by the query's.  Runs in
+``O(deg(q) + |C|)`` (Theorem 2).
+"""
+
+from __future__ import annotations
+
+from repro.core.index import PMBCIndex
+from repro.core.result import Biclique
+from repro.graph.bipartite import Side
+
+
+def pmbc_index_topk(
+    index: PMBCIndex,
+    side: Side,
+    q: int,
+    k: int,
+    tau_u: int = 1,
+    tau_l: int = 1,
+) -> list[Biclique]:
+    """The ``k`` largest *distinct* personalized maximum bicliques of ``q``.
+
+    The search tree ``T_q`` stores exactly the distinct personalized
+    maxima of ``q`` across all constraint combinations, so the top-k
+    diverse groups of ``q`` (each maximal for some constraint regime)
+    come straight off the tree — an extension the index supports for
+    free.  Results satisfy the given constraints and are sorted by edge
+    count descending (ties broken by shape for determinism).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if tau_u < 1 or tau_l < 1:
+        raise ValueError(
+            f"size constraints must be >= 1, got ({tau_u}, {tau_l})"
+        )
+    trees = index.trees[side]
+    if not 0 <= q < len(trees):
+        raise ValueError(
+            f"query vertex {q} out of range for the {side.value} layer"
+        )
+    seen: set[int] = set()
+    results: list[Biclique] = []
+    for node in trees[q].walk():
+        if node.biclique_id is None or node.biclique_id in seen:
+            continue
+        seen.add(node.biclique_id)
+        candidate = index.biclique(node.biclique_id)
+        if candidate.satisfies(tau_u, tau_l):
+            results.append(candidate)
+    results.sort(key=lambda c: (-c.num_edges, c.shape))
+    return results[:k]
+
+
+def pmbc_index_query(
+    index: PMBCIndex, side: Side, q: int, tau_u: int = 1, tau_l: int = 1
+) -> Biclique | None:
+    """The personalized maximum biclique of ``q`` from the PMBC-Index.
+
+    Returns None when no biclique containing ``q`` meets the
+    constraints.
+    """
+    if tau_u < 1 or tau_l < 1:
+        raise ValueError(
+            f"size constraints must be >= 1, got ({tau_u}, {tau_l})"
+        )
+    trees = index.trees[side]
+    if not 0 <= q < len(trees):
+        raise ValueError(
+            f"query vertex {q} out of range for the {side.value} layer"
+        )
+    tree = trees[q]
+    node_id: int | None = 0 if tree.nodes else None
+    while node_id is not None:
+        node = tree.nodes[node_id]
+        if node.biclique_id is not None:
+            candidate = index.biclique(node.biclique_id)
+            if candidate.satisfies(tau_u, tau_l):
+                return candidate
+        next_id: int | None = None
+        for child_id in (node.left, node.right):
+            if child_id is None:
+                continue
+            child = tree.nodes[child_id]
+            if child.tau_u <= tau_u and child.tau_l <= tau_l:
+                next_id = child_id
+                break
+        node_id = next_id
+    return None

@@ -1,0 +1,79 @@
+"""The biclique value type shared by every algorithm layer.
+
+Vertex ids are always *global* graph ids: ``upper`` holds upper-layer
+ids of the parent :class:`~repro.graph.bipartite.BipartiteGraph` and
+``lower`` holds lower-layer ids, regardless of which side a query
+vertex was on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.bipartite import BipartiteGraph, Side
+
+
+@dataclass(frozen=True)
+class Biclique:
+    """A complete bipartite subgraph given by its two vertex sets."""
+
+    upper: frozenset[int]
+    lower: frozenset[int]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "upper", frozenset(self.upper))
+        object.__setattr__(self, "lower", frozenset(self.lower))
+
+    @property
+    def num_edges(self) -> int:
+        """``|C| = |U(C)| · |L(C)|`` — the paper's size measure."""
+        return len(self.upper) * len(self.lower)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(|U(C)|, |L(C)|)`` — an (a×b)-biclique has shape (a, b)."""
+        return (len(self.upper), len(self.lower))
+
+    def side_count(self, side: Side) -> int:
+        """Number of vertices on the given layer."""
+        return len(self.upper) if side is Side.UPPER else len(self.lower)
+
+    def vertices(self, side: Side) -> frozenset[int]:
+        """The vertex set on the given layer."""
+        return self.upper if side is Side.UPPER else self.lower
+
+    def contains(self, side: Side, v: int) -> bool:
+        """Whether vertex ``v`` of the given layer is in the biclique."""
+        return v in self.vertices(side)
+
+    def satisfies(self, tau_u: int, tau_l: int) -> bool:
+        """Whether the layer-size constraints of Definition 3 hold."""
+        return len(self.upper) >= tau_u and len(self.lower) >= tau_l
+
+    def dominates(self, other: "Biclique") -> bool:
+        """Shape domination: at least as many vertices on both layers."""
+        return (
+            len(self.upper) >= len(other.upper)
+            and len(self.lower) >= len(other.lower)
+        )
+
+    def signature(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """A canonical, hashable identity used to deduplicate array A."""
+        return (tuple(sorted(self.upper)), tuple(sorted(self.lower)))
+
+    def is_valid_in(self, graph: BipartiteGraph) -> bool:
+        """Whether every upper–lower pair is an edge of ``graph``."""
+        return all(
+            graph.has_edge(u, v) for u in self.upper for v in self.lower
+        )
+
+    def with_labels(self, graph: BipartiteGraph) -> tuple[set, set]:
+        """The vertex sets translated to application labels."""
+        return (
+            {graph.label(Side.UPPER, u) for u in self.upper},
+            {graph.label(Side.LOWER, v) for v in self.lower},
+        )
+
+    def __repr__(self) -> str:
+        a, b = self.shape
+        return f"Biclique({a}x{b}, {self.num_edges} edges)"

@@ -1,0 +1,79 @@
+"""Answer verification utilities.
+
+Downstream users integrating the index into a pipeline often want a
+cheap certificate that a returned biclique is a *valid* answer (it is
+complete, contains the query vertex, and meets the constraints) and,
+optionally, an independent exactness check against the online
+algorithm.  These helpers package both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.online import pmbc_online
+from repro.core.result import Biclique
+from repro.graph.bipartite import BipartiteGraph, Side
+
+
+@dataclass(frozen=True)
+class AnswerCheck:
+    """Outcome of verifying one personalized answer."""
+
+    valid: bool
+    reasons: tuple[str, ...] = ()
+
+    def __bool__(self) -> bool:  # truthiness = validity
+        return self.valid
+
+
+def check_personalized_answer(
+    graph: BipartiteGraph,
+    side: Side,
+    q: int,
+    tau_u: int,
+    tau_l: int,
+    answer: Biclique | None,
+    exact: bool = False,
+) -> AnswerCheck:
+    """Verify an answer to ``C^q_{τU,τL}``.
+
+    Cheap structural checks always run: completeness, query membership,
+    constraint satisfaction.  ``exact=True`` additionally recomputes the
+    optimum with PMBC-OL and compares edge counts (expensive — meant
+    for audits and tests, not per-query use).
+
+    A ``None`` answer is valid exactly when no biclique meets the
+    constraints; that can only be certified with ``exact=True``, so a
+    bare structural check accepts None with a caveat reason.
+    """
+    reasons: list[str] = []
+    if answer is None:
+        if exact:
+            optimum = pmbc_online(graph, side, q, tau_u, tau_l)
+            if optimum is not None:
+                reasons.append(
+                    f"answer is None but a {optimum.shape} biclique exists"
+                )
+        else:
+            reasons.append("answer is None (not certified without exact=True)")
+            return AnswerCheck(valid=True, reasons=tuple(reasons))
+        return AnswerCheck(valid=not reasons, reasons=tuple(reasons))
+
+    if not answer.contains(side, q):
+        reasons.append(f"query vertex {q} not in the answer")
+    if not answer.satisfies(tau_u, tau_l):
+        reasons.append(
+            f"shape {answer.shape} violates constraints ({tau_u}, {tau_l})"
+        )
+    if not answer.is_valid_in(graph):
+        reasons.append("vertex sets do not induce a complete subgraph")
+    if exact and not reasons:
+        optimum = pmbc_online(graph, side, q, tau_u, tau_l)
+        optimum_size = optimum.num_edges if optimum else 0
+        if answer.num_edges != optimum_size:
+            reasons.append(
+                f"answer has {answer.num_edges} edges but the optimum "
+                f"has {optimum_size}"
+            )
+    return AnswerCheck(valid=not reasons, reasons=tuple(reasons))

@@ -1,0 +1,21 @@
+"""(α,β)-core substrate.
+
+Implements Definition 6 ((α,β)-core), the α-/β-offsets of Definition 7
+via full bicore decomposition (Liu et al., WWW 2019 — reference [40] of
+the paper), and the biclique-size upper bounds of Section VI-C
+(``z_v`` and the prefix/suffix bound arrays behind Lemma 9) used to
+accelerate PMBC-OL into PMBC-OL*.
+"""
+
+from repro.corenum.peeling import alpha_beta_core, max_delta
+from repro.corenum.decomposition import BicoreDecomposition, decompose
+from repro.corenum.bounds import CoreBounds, compute_bounds
+
+__all__ = [
+    "alpha_beta_core",
+    "max_delta",
+    "BicoreDecomposition",
+    "decompose",
+    "CoreBounds",
+    "compute_bounds",
+]

@@ -1,0 +1,199 @@
+"""Full bicore ((α,β)-core) decomposition.
+
+Computes, for every vertex, the complete *staircase region*
+``R_x = {(α, β) : x ∈ (α,β)-core}`` in ``O(δ·m)`` peeling sweeps, where
+δ is the maximal value with a non-empty (δ,δ)-core (bounded by √m).
+This is the decomposition algorithm of Liu et al. (WWW 2019) that the
+paper cites for pre-computing the α-/β-offsets of Definition 7:
+
+- ``s_a(u, α)`` — the maximal β such that ``u`` is in an (α,β)-core;
+- ``s_b(v, β)`` — the maximal α such that ``v`` is in an (α,β)-core.
+
+Both directions are provided for vertices of *either* layer because a
+query vertex on the lower layer flips the local orientation of its
+two-hop subgraph.
+
+The δ-bounded scheme: any (α,β) with a non-empty core has
+``min(α,β) ≤ δ``, so sweeping α over ``1..δ`` (max-β per vertex) and β
+over ``1..δ`` (max-α per vertex) fully describes every region; values
+beyond δ in one coordinate are recovered by inverting the other sweep.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+
+from repro.corenum.peeling import max_delta
+from repro.graph.bipartite import BipartiteGraph, Side
+
+
+def _peel_levels(
+    graph: BipartiteGraph, fixed_side: Side, fixed_value: int
+) -> dict[Side, list[int]]:
+    """Max free-side threshold per vertex under a fixed-side constraint.
+
+    With ``fixed_side = UPPER`` and ``fixed_value = α`` this returns,
+    for every vertex ``x``, the maximal β such that ``x`` belongs to the
+    (α,β)-core (0 when ``x`` is in no such core).  Implemented as
+    min-degree peeling of the free side with cascading deletions on the
+    fixed side — the classic core-decomposition argument extended with
+    one static constraint.
+    """
+    free_side = fixed_side.other
+    deg = {side: graph.degrees(side) for side in Side}
+    alive = {side: [True] * graph.num_vertices_on(side) for side in Side}
+    level = {side: [0] * graph.num_vertices_on(side) for side in Side}
+
+    # Enforce the fixed constraint once (removing fixed-side vertices
+    # never lowers another fixed-side degree, so no cascade yet).
+    init_removed = deque(
+        u for u, d in enumerate(deg[fixed_side]) if d < fixed_value
+    )
+    for u in init_removed:
+        alive[fixed_side][u] = False
+    for u in init_removed:
+        for w in graph.neighbors(fixed_side, u):
+            deg[free_side][w] -= 1
+
+    heap = [
+        (deg[free_side][v], v)
+        for v in range(graph.num_vertices_on(free_side))
+    ]
+    heapq.heapify(heap)
+    current = 0
+    while heap:
+        d, v = heapq.heappop(heap)
+        if not alive[free_side][v] or d != deg[free_side][v]:
+            continue  # stale entry
+        current = max(current, d)
+        level[free_side][v] = current
+        alive[free_side][v] = False
+        cascade: list[int] = []
+        for u in graph.neighbors(free_side, v):
+            if not alive[fixed_side][u]:
+                continue
+            deg[fixed_side][u] -= 1
+            if deg[fixed_side][u] < fixed_value:
+                cascade.append(u)
+        while cascade:
+            u = cascade.pop()
+            if not alive[fixed_side][u]:
+                continue
+            alive[fixed_side][u] = False
+            level[fixed_side][u] = current
+            for w in graph.neighbors(fixed_side, u):
+                if not alive[free_side][w]:
+                    continue
+                deg[free_side][w] -= 1
+                heapq.heappush(heap, (deg[free_side][w], w))
+    return level
+
+
+def _invert_staircase(
+    direct_prefix: list[int], own_max: int, delta: int
+) -> list[int]:
+    """Extend a staircase beyond δ by inverting the opposite sweep.
+
+    ``direct_prefix[i]`` (0-indexed, i.e. value at coordinate ``i+1``)
+    is the max opposite coordinate for own coordinate ``i+1 ≤ δ`` taken
+    from the *other* sweep; the result is the max opposite coordinate
+    for own coordinates ``δ+1 .. own_max``, computed as
+    ``max{c ≤ δ : direct_prefix[c] ≥ coordinate}`` with a suffix-max
+    scan.
+    """
+    if own_max <= delta:
+        return []
+    # marker[a] = max c with direct_prefix[c] == a capped at own_max.
+    marker = [0] * (own_max + 2)
+    for c_idx, cap in enumerate(direct_prefix):
+        c = c_idx + 1
+        capped = min(cap, own_max)
+        if capped >= 1:
+            marker[capped] = max(marker[capped], c)
+    # suffix max: best[a] = max c with direct_prefix[c] >= a.
+    for a in range(own_max - 1, 0, -1):
+        marker[a] = max(marker[a], marker[a + 1])
+    return [marker[a] for a in range(delta + 1, own_max + 1)]
+
+
+@dataclass
+class BicoreDecomposition:
+    """Per-vertex (α,β)-core staircases of a bipartite graph.
+
+    ``alpha_stairs[side][v]`` is a 0-indexed list whose entry ``i``
+    holds the maximal β such that ``v`` is in the (i+1, β)-core; its
+    length is the maximal α for which ``v`` is in any (α,1)-core.
+    ``beta_stairs`` is symmetric (max α per β).
+    """
+
+    delta: int
+    alpha_stairs: dict[Side, list[list[int]]]
+    beta_stairs: dict[Side, list[list[int]]]
+
+    def s_a(self, side: Side, v: int, alpha: int) -> int:
+        """Definition 7's α-offset: max β such that ``v`` ∈ (α,β)-core."""
+        if alpha < 1:
+            raise ValueError(f"alpha must be >= 1, got {alpha}")
+        stairs = self.alpha_stairs[side][v]
+        if alpha > len(stairs):
+            return 0
+        return stairs[alpha - 1]
+
+    def s_b(self, side: Side, v: int, beta: int) -> int:
+        """Definition 7's β-offset: max α such that ``v`` ∈ (α,β)-core."""
+        if beta < 1:
+            raise ValueError(f"beta must be >= 1, got {beta}")
+        stairs = self.beta_stairs[side][v]
+        if beta > len(stairs):
+            return 0
+        return stairs[beta - 1]
+
+    def alpha_max(self, side: Side, v: int) -> int:
+        """The maximal α such that ``v`` is in an (α,1)-core."""
+        return len(self.alpha_stairs[side][v])
+
+    def beta_max(self, side: Side, v: int) -> int:
+        """The maximal β such that ``v`` is in a (1,β)-core."""
+        return len(self.beta_stairs[side][v])
+
+    def in_core(self, side: Side, v: int, alpha: int, beta: int) -> bool:
+        """Whether ``v`` belongs to the (α,β)-core."""
+        return self.s_a(side, v, alpha) >= beta
+
+
+def decompose(graph: BipartiteGraph) -> BicoreDecomposition:
+    """Compute the full bicore decomposition of ``graph``."""
+    delta = max_delta(graph)
+    # alpha sweeps: for each α ≤ δ, max β per vertex.
+    alpha_sweeps = [
+        _peel_levels(graph, Side.UPPER, alpha) for alpha in range(1, delta + 1)
+    ]
+    # beta sweeps: for each β ≤ δ, max α per vertex.
+    beta_sweeps = [
+        _peel_levels(graph, Side.LOWER, beta) for beta in range(1, delta + 1)
+    ]
+
+    alpha_stairs: dict[Side, list[list[int]]] = {}
+    beta_stairs: dict[Side, list[list[int]]] = {}
+    for side in Side:
+        n = graph.num_vertices_on(side)
+        side_alpha: list[list[int]] = []
+        side_beta: list[list[int]] = []
+        for v in range(n):
+            beta_prefix = [sweep[side][v] for sweep in alpha_sweeps]
+            alpha_prefix = [sweep[side][v] for sweep in beta_sweeps]
+            alpha_max = alpha_prefix[0] if alpha_prefix else 0
+            beta_max = beta_prefix[0] if beta_prefix else 0
+            full_alpha = beta_prefix[: min(delta, alpha_max)]
+            full_alpha += _invert_staircase(alpha_prefix, alpha_max, delta)
+            full_beta = alpha_prefix[: min(delta, beta_max)]
+            full_beta += _invert_staircase(beta_prefix, beta_max, delta)
+            side_alpha.append(full_alpha)
+            side_beta.append(full_beta)
+        alpha_stairs[side] = side_alpha
+        beta_stairs[side] = side_beta
+    return BicoreDecomposition(
+        delta=delta, alpha_stairs=alpha_stairs, beta_stairs=beta_stairs
+    )

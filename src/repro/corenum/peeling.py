@@ -1,0 +1,82 @@
+"""(α,β)-core extraction by iterative peeling (Definition 6).
+
+An (α,β)-core is the maximal subgraph where every upper vertex has
+degree ≥ α and every lower vertex has degree ≥ β.  It is unique, so it
+can be computed by repeatedly deleting any violating vertex.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.graph.bipartite import BipartiteGraph, Side
+
+
+def alpha_beta_core(
+    graph: BipartiteGraph, alpha: int, beta: int
+) -> tuple[set[int], set[int]]:
+    """Vertex sets ``(upper_ids, lower_ids)`` of the (α,β)-core of ``graph``.
+
+    Returns two empty sets when the core is empty.  ``alpha`` constrains
+    upper-vertex degrees and ``beta`` lower-vertex degrees.
+    """
+    if alpha < 1 or beta < 1:
+        raise ValueError(f"alpha and beta must be >= 1, got ({alpha}, {beta})")
+    deg = {
+        Side.UPPER: graph.degrees(Side.UPPER),
+        Side.LOWER: graph.degrees(Side.LOWER),
+    }
+    alive = {
+        Side.UPPER: [True] * graph.num_upper,
+        Side.LOWER: [True] * graph.num_lower,
+    }
+    threshold = {Side.UPPER: alpha, Side.LOWER: beta}
+
+    queue: deque[tuple[Side, int]] = deque()
+    for side in Side:
+        for v, d in enumerate(deg[side]):
+            if d < threshold[side]:
+                queue.append((side, v))
+                alive[side][v] = False
+    while queue:
+        side, v = queue.popleft()
+        other = side.other
+        for w in graph.neighbors(side, v):
+            if not alive[other][w]:
+                continue
+            deg[other][w] -= 1
+            if deg[other][w] < threshold[other]:
+                alive[other][w] = False
+                queue.append((other, w))
+    upper = {v for v, ok in enumerate(alive[Side.UPPER]) if ok}
+    lower = {v for v, ok in enumerate(alive[Side.LOWER]) if ok}
+    return upper, lower
+
+
+def max_delta(graph: BipartiteGraph) -> int:
+    """The maximal δ such that the (δ,δ)-core of ``graph`` is non-empty.
+
+    δ is bounded by √m (paper, Section VI-C).  Found by doubling then
+    binary search; each probe is a linear-time peel.
+    """
+    if graph.num_edges == 0:
+        return 0
+
+    def non_empty(d: int) -> bool:
+        upper, __ = alpha_beta_core(graph, d, d)
+        return bool(upper)
+
+    # (1,1)-core is non-empty whenever there is an edge.
+    low = 1
+    high = 2
+    while non_empty(high):
+        low = high
+        high *= 2
+    # Invariant: non_empty(low), not non_empty(high).
+    while high - low > 1:
+        mid = (low + high) // 2
+        if non_empty(mid):
+            low = mid
+        else:
+            high = mid
+    return low

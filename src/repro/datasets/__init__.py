@@ -1,0 +1,29 @@
+"""Synthetic analogues of the paper's 10 KONECT datasets.
+
+The paper evaluates on Writers, YouTube, Github, BookCrossing,
+StackOverflow, Teams, ActorMovies, Wikipedia, Amazon and DBLP
+(144K–8.6M edges).  Those graphs are not redistributable here and a
+pure-Python index build at millions of edges is infeasible, so
+:mod:`repro.datasets.zoo` generates a seeded, scale-reduced analogue of
+each: layer-size ratios match the originals, degrees are heavy-tailed,
+and overlapping complete bicliques are planted so personalized maxima
+are non-trivial.  See DESIGN.md ("Substitutions").
+"""
+
+from repro.datasets.zoo import (
+    DatasetSpec,
+    ZOO,
+    dataset_names,
+    load_dataset,
+    scalability_dataset_names,
+    spec,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "ZOO",
+    "dataset_names",
+    "load_dataset",
+    "scalability_dataset_names",
+    "spec",
+]

@@ -1,0 +1,68 @@
+"""Bipartite graph substrate.
+
+This package provides the bipartite-graph data structure and utilities
+that every algorithm in :mod:`repro` builds on:
+
+- :class:`~repro.graph.bipartite.BipartiteGraph` — immutable bipartite
+  graph with per-layer integer vertex ids and optional labels.
+- :class:`~repro.graph.bipartite.Side` / :class:`~repro.graph.bipartite.Vertex`
+  — layer designators and (side, id) vertex handles.
+- :mod:`~repro.graph.builders` — constructors from edge lists,
+  biadjacency matrices, and networkx graphs.
+- :mod:`~repro.graph.io` — KONECT ``out.*`` and plain edge-list formats.
+- :mod:`~repro.graph.subgraph` — induced subgraphs and the two-hop
+  subgraph ``H_q`` of Definition 4.
+- :mod:`~repro.graph.generators` — seeded random/synthetic generators.
+- :mod:`~repro.graph.sampling` — uniform edge sampling (Fig 9 workload).
+"""
+
+from repro.graph.bipartite import BipartiteGraph, Side, Vertex
+from repro.graph.builders import (
+    from_biadjacency,
+    from_edges,
+    from_networkx,
+    to_biadjacency,
+    to_networkx,
+)
+from repro.graph.generators import (
+    planted_biclique_graph,
+    power_law_bipartite,
+    random_bipartite,
+)
+from repro.graph.io import (
+    load_graph_json,
+    read_edge_list,
+    read_konect,
+    save_graph_json,
+    write_edge_list,
+    write_konect,
+)
+from repro.graph.stats import GraphStats, graph_stats
+from repro.graph.sampling import sample_edges
+from repro.graph.subgraph import LocalGraph, induced_subgraph, two_hop_subgraph
+
+__all__ = [
+    "BipartiteGraph",
+    "Side",
+    "Vertex",
+    "from_edges",
+    "from_biadjacency",
+    "from_networkx",
+    "to_biadjacency",
+    "to_networkx",
+    "read_konect",
+    "write_konect",
+    "read_edge_list",
+    "write_edge_list",
+    "save_graph_json",
+    "load_graph_json",
+    "graph_stats",
+    "GraphStats",
+    "random_bipartite",
+    "power_law_bipartite",
+    "planted_biclique_graph",
+    "sample_edges",
+    "induced_subgraph",
+    "two_hop_subgraph",
+    "LocalGraph",
+]

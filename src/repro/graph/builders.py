@@ -1,0 +1,132 @@
+"""Constructors for :class:`~repro.graph.bipartite.BipartiteGraph`.
+
+All builders normalize duplicate edges and validate bipartiteness where
+applicable.  ``from_edges`` is the workhorse used by the loaders and the
+generators.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from repro.graph.bipartite import BipartiteGraph, Side
+
+
+def from_edges(
+    edges: Iterable[tuple[Hashable, Hashable]],
+    upper_labels: Sequence[Hashable] | None = None,
+    lower_labels: Sequence[Hashable] | None = None,
+) -> BipartiteGraph:
+    """Build a graph from ``(upper, lower)`` pairs.
+
+    When ``upper_labels``/``lower_labels`` are given they fix the vertex
+    order (and may include isolated vertices); otherwise labels are
+    assigned ids in first-seen order.  Endpoints may be arbitrary
+    hashable labels.
+    """
+    upper_ids: dict[Hashable, int] = {}
+    lower_ids: dict[Hashable, int] = {}
+    if upper_labels is not None:
+        for label in upper_labels:
+            if label in upper_ids:
+                raise ValueError(f"duplicate upper label {label!r}")
+            upper_ids[label] = len(upper_ids)
+    if lower_labels is not None:
+        for label in lower_labels:
+            if label in lower_ids:
+                raise ValueError(f"duplicate lower label {label!r}")
+            lower_ids[label] = len(lower_ids)
+    fixed_upper = upper_labels is not None
+    fixed_lower = lower_labels is not None
+
+    adj_upper: list[list[int]] = [[] for __ in range(len(upper_ids))]
+    for u_label, v_label in edges:
+        if u_label not in upper_ids:
+            if fixed_upper:
+                raise KeyError(f"unknown upper label {u_label!r}")
+            upper_ids[u_label] = len(upper_ids)
+            adj_upper.append([])
+        if v_label not in lower_ids:
+            if fixed_lower:
+                raise KeyError(f"unknown lower label {v_label!r}")
+            lower_ids[v_label] = len(lower_ids)
+        adj_upper[upper_ids[u_label]].append(lower_ids[v_label])
+
+    return BipartiteGraph(
+        adj_upper,
+        num_lower=len(lower_ids),
+        upper_labels=list(upper_ids),
+        lower_labels=list(lower_ids),
+    )
+
+
+def from_biadjacency(matrix) -> BipartiteGraph:
+    """Build a graph from a 0/1 biadjacency matrix.
+
+    ``matrix[u][v]`` truthy means edge between upper ``u`` and lower
+    ``v``.  Accepts nested sequences or a numpy array.
+    """
+    adj_upper = [
+        [v for v, cell in enumerate(row) if cell] for row in matrix
+    ]
+    num_lower = max((len(row) for row in matrix), default=0)
+    return BipartiteGraph(adj_upper, num_lower=num_lower)
+
+
+def from_networkx(nx_graph, upper_nodes: Iterable[Hashable] | None = None) -> BipartiteGraph:
+    """Convert a networkx bipartite graph.
+
+    ``upper_nodes`` names the upper layer; when omitted, nodes carrying
+    ``bipartite=0`` form the upper layer (the networkx convention).
+    """
+    if upper_nodes is None:
+        upper_nodes = [
+            node
+            for node, data in nx_graph.nodes(data=True)
+            if data.get("bipartite") == 0
+        ]
+        if not upper_nodes and nx_graph.number_of_nodes():
+            raise ValueError(
+                "no nodes with bipartite=0 attribute; pass upper_nodes explicitly"
+            )
+    upper_set = set(upper_nodes)
+    lower = [node for node in nx_graph.nodes if node not in upper_set]
+    edges = []
+    for a, b in nx_graph.edges:
+        if a in upper_set and b in upper_set:
+            raise ValueError(f"edge ({a!r}, {b!r}) is within the upper layer")
+        if a not in upper_set and b not in upper_set:
+            raise ValueError(f"edge ({a!r}, {b!r}) is within the lower layer")
+        edges.append((a, b) if a in upper_set else (b, a))
+    return from_edges(edges, upper_labels=list(upper_set), lower_labels=lower)
+
+
+def to_biadjacency(graph: BipartiteGraph):
+    """The 0/1 biadjacency matrix as a numpy array (upper × lower)."""
+    import numpy
+
+    matrix = numpy.zeros((graph.num_upper, graph.num_lower), dtype=numpy.int8)
+    for u, v in graph.edges():
+        matrix[u, v] = 1
+    return matrix
+
+
+def to_networkx(graph: BipartiteGraph):
+    """Convert to a networkx Graph with ``bipartite`` node attributes.
+
+    Upper vertices become ``("U", label)`` nodes with ``bipartite=0`` and
+    lower vertices ``("L", label)`` nodes with ``bipartite=1`` so that
+    labels shared between the layers do not collide.
+    """
+    import networkx as nx
+
+    nx_graph = nx.Graph()
+    for u in range(graph.num_upper):
+        nx_graph.add_node(("U", graph.label(Side.UPPER, u)), bipartite=0)
+    for v in range(graph.num_lower):
+        nx_graph.add_node(("L", graph.label(Side.LOWER, v)), bipartite=1)
+    for u, v in graph.edges():
+        nx_graph.add_edge(
+            ("U", graph.label(Side.UPPER, u)), ("L", graph.label(Side.LOWER, v))
+        )
+    return nx_graph

@@ -1,0 +1,156 @@
+"""Reading and writing bipartite graphs.
+
+Two formats are supported:
+
+- **KONECT** ``out.*`` files — the format of the paper's 10 datasets
+  (http://konect.cc/): optional ``%`` comment headers, then one edge per
+  line ``<upper> <lower> [weight [timestamp]]`` with 1-based ids.
+- **Plain edge lists** — ``<upper> <lower>`` per line, ``#`` comments,
+  arbitrary string labels.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TextIO
+
+from repro.graph.bipartite import BipartiteGraph, Side
+from repro.graph.builders import from_edges
+
+
+def _open_or_pass(path_or_file, mode: str):
+    if hasattr(path_or_file, "read") or hasattr(path_or_file, "write"):
+        return path_or_file, False
+    return open(path_or_file, mode, encoding="utf-8"), True
+
+
+def read_konect(path_or_file: str | os.PathLike | TextIO) -> BipartiteGraph:
+    """Read a KONECT-format bipartite edge file.
+
+    Ids are 1-based in the file and converted to contiguous 0-based ids.
+    Weights/timestamps (third/fourth columns) are ignored; parallel
+    edges collapse to one.  Vertices that appear only in the declared
+    size header (if any) but have no edge are dropped, matching the
+    paper's preprocessing ("vertices with degree equal to zero are
+    removed").
+    """
+    handle, should_close = _open_or_pass(path_or_file, "r")
+    try:
+        edges = []
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("%"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"line {lineno}: expected at least two columns")
+            u, v = int(parts[0]), int(parts[1])
+            if u < 1 or v < 1:
+                raise ValueError(f"line {lineno}: KONECT ids are 1-based")
+            edges.append((u - 1, v - 1))
+    finally:
+        if should_close:
+            handle.close()
+    return from_edges(edges)
+
+
+def write_konect(
+    graph: BipartiteGraph,
+    path_or_file: str | os.PathLike | TextIO,
+    name: str = "bip",
+) -> None:
+    """Write a graph in KONECT ``out.*`` format (1-based ids)."""
+    handle, should_close = _open_or_pass(path_or_file, "w")
+    try:
+        handle.write(f"% bip unweighted {name}\n")
+        handle.write(f"% {graph.num_edges} {graph.num_upper} {graph.num_lower}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u + 1} {v + 1}\n")
+    finally:
+        if should_close:
+            handle.close()
+
+
+def save_graph_json(
+    graph: BipartiteGraph, path_or_file: str | os.PathLike | TextIO
+) -> None:
+    """Write a graph (including labels) as JSON."""
+    import json
+
+    payload = {
+        "num_lower": graph.num_lower,
+        "adj_upper": [
+            list(graph.neighbors(Side.UPPER, u))
+            for u in range(graph.num_upper)
+        ],
+        "upper_labels": (
+            list(graph.labels(Side.UPPER))
+            if graph.labels(Side.UPPER) is not None
+            else None
+        ),
+        "lower_labels": (
+            list(graph.labels(Side.LOWER))
+            if graph.labels(Side.LOWER) is not None
+            else None
+        ),
+    }
+    handle, should_close = _open_or_pass(path_or_file, "w")
+    try:
+        json.dump(payload, handle)
+    finally:
+        if should_close:
+            handle.close()
+
+
+def load_graph_json(
+    path_or_file: str | os.PathLike | TextIO,
+) -> BipartiteGraph:
+    """Read a graph previously written by :func:`save_graph_json`."""
+    import json
+
+    handle, should_close = _open_or_pass(path_or_file, "r")
+    try:
+        payload = json.load(handle)
+    finally:
+        if should_close:
+            handle.close()
+    return BipartiteGraph(
+        payload["adj_upper"],
+        num_lower=payload["num_lower"],
+        upper_labels=payload["upper_labels"],
+        lower_labels=payload["lower_labels"],
+    )
+
+
+def read_edge_list(path_or_file: str | os.PathLike | TextIO) -> BipartiteGraph:
+    """Read a plain edge list with string labels (``#`` comments)."""
+    handle, should_close = _open_or_pass(path_or_file, "r")
+    try:
+        edges = []
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"line {lineno}: expected exactly two columns")
+            edges.append((parts[0], parts[1]))
+    finally:
+        if should_close:
+            handle.close()
+    return from_edges(edges)
+
+
+def write_edge_list(
+    graph: BipartiteGraph, path_or_file: str | os.PathLike | TextIO
+) -> None:
+    """Write a plain edge list using vertex labels."""
+    handle, should_close = _open_or_pass(path_or_file, "w")
+    try:
+        for u, v in graph.edges():
+            handle.write(
+                f"{graph.label(Side.UPPER, u)} {graph.label(Side.LOWER, v)}\n"
+            )
+    finally:
+        if should_close:
+            handle.close()

@@ -1,0 +1,40 @@
+"""Uniform edge sampling for the scalability experiment (Fig 9).
+
+The paper evaluates index-construction scalability by "randomly sampling
+20% to 100% edges of the original graphs"; :func:`sample_edges`
+implements that workload generator.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.bipartite import BipartiteGraph
+
+from repro.graph.builders import from_edges
+from repro.graph.bipartite import Side
+
+
+def sample_edges(
+    graph: BipartiteGraph, fraction: float, seed: int = 0
+) -> BipartiteGraph:
+    """A subgraph with ``round(fraction * |E|)`` uniformly sampled edges.
+
+    Vertices left with degree zero are removed (matching the paper's
+    preprocessing); labels are preserved so query vertices can be
+    matched across sample levels.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    edges = list(graph.edges())
+    if fraction == 1.0:
+        sampled = edges
+    else:
+        rng = random.Random(seed)
+        count = max(1, round(fraction * len(edges)))
+        sampled = rng.sample(edges, count)
+    labeled = [
+        (graph.label(Side.UPPER, u), graph.label(Side.LOWER, v))
+        for u, v in sampled
+    ]
+    return from_edges(labeled)

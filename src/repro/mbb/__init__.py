@@ -1,0 +1,18 @@
+"""Maximum balanced biclique (MBB) substrate.
+
+The second related-work variant the paper surveys (Section II): find
+the largest biclique with *equally sized* layers.  NP-hard; this
+package provides an exact branch-and-bound for moderate inputs plus
+the classic vertex-deletion greedy heuristic used by the hardware
+-oriented literature the paper cites.
+"""
+
+from repro.mbb.balanced import (
+    greedy_balanced_biclique,
+    maximum_balanced_biclique,
+)
+
+__all__ = [
+    "maximum_balanced_biclique",
+    "greedy_balanced_biclique",
+]

@@ -1,0 +1,41 @@
+"""Maximum biclique search substrate (Lyu et al., VLDB 2020 — ref [5]).
+
+The paper's online algorithms run the state-of-the-art maximum (edge)
+biclique search on the two-hop subgraph of the query vertex.  This
+package implements that substrate from scratch:
+
+- :mod:`~repro.mbc.greedy` — the greedy initial solution ``C*_0``;
+- :mod:`~repro.mbc.reductions` — one-hop (degree) and two-hop (wedge)
+  reductions producing the "maximum biclique preserved subgraph";
+- :mod:`~repro.mbc.branch_bound` — the Branch&Bound procedure
+  (Algorithm 1, lines 11–22) with optional Lemma 6 shape caps and the
+  (α,β)-core bounds of PMBC-OL*;
+- :mod:`~repro.mbc.progressive` — the progressive bounding framework
+  (Algorithm 1, lines 2–9);
+- :mod:`~repro.mbc.oracle` — exponential-time brute-force reference
+  implementations used by the test suite.
+"""
+
+from repro.mbc.branch_bound import BranchBoundConfig, branch_and_bound
+from repro.mbc.global_search import maximum_biclique, whole_graph_view
+from repro.mbc.greedy import greedy_biclique
+from repro.mbc.oracle import (
+    all_closed_bicliques,
+    max_biclique_brute,
+    personalized_max_brute,
+)
+from repro.mbc.progressive import maximum_biclique_local
+from repro.mbc.reductions import reduce_preserving_maximum
+
+__all__ = [
+    "branch_and_bound",
+    "BranchBoundConfig",
+    "maximum_biclique",
+    "whole_graph_view",
+    "greedy_biclique",
+    "maximum_biclique_local",
+    "reduce_preserving_maximum",
+    "all_closed_bicliques",
+    "max_biclique_brute",
+    "personalized_max_brute",
+]

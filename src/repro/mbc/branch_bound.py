@@ -1,0 +1,206 @@
+"""The Branch&Bound procedure (Algorithm 1, lines 11–22).
+
+Adapted from the maximal-biclique-enumeration branch-and-bound of
+Zhang et al. (iMBEA) as done by Lyu et al. [5]: the search enumerates
+(left-closed) bicliques by growing the lower vertex set ``W`` and
+maintaining ``P`` as the exact set of upper vertices adjacent to all of
+``W``.  Four vertex sets drive the recursion:
+
+- ``P`` — upper vertices of the current biclique (common neighbors of W);
+- ``W`` — lower vertices chosen (plus "free" vertices whose
+  neighborhood covers ``P``);
+- ``R`` — candidate lower vertices still addable;
+- ``X`` — lower vertices excluded earlier (for non-maximality pruning).
+
+Extensions over the plain procedure, all optional via
+:class:`BranchBoundConfig`:
+
+- **Lemma 6 shape caps** (``max_u``/``max_l``) used during index
+  construction: a child node's answer is known to have strictly fewer
+  vertices on one layer than its parent's, so recordings beyond the cap
+  are skipped and branches whose ``W`` exceeds ``max_l`` are pruned
+  (``W`` only grows down a branch).
+- **(α,β)-core bounds of PMBC-OL*** — callbacks that bound the best
+  biclique a vertex can still participate in (Section VI-C): candidates
+  are skipped and upper vertices dropped when their bound cannot beat
+  the incumbent.
+- **Anchor protection** — the anchored query vertex is never dropped
+  from ``P`` by the upper-bound pruning, which guarantees every
+  recorded biclique contains it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.graph.subgraph import LocalGraph
+
+
+@dataclass
+class BranchBoundConfig:
+    """Knobs for one Branch&Bound run (all sizes in *local* orientation)."""
+
+    tau_p: int = 1
+    """Minimum number of upper (P-side) vertices in a recorded biclique."""
+
+    tau_w: int = 1
+    """Minimum number of lower (W-side) vertices in a recorded biclique."""
+
+    max_p: int | None = None
+    """Inclusive Lemma 6 cap on upper vertices of a recorded biclique."""
+
+    max_w: int | None = None
+    """Inclusive Lemma 6 cap on lower vertices; also prunes branches."""
+
+    prune_non_maximal: bool = True
+    """Prune branches dominated by an excluded vertex (standard MBEA rule)."""
+
+    lower_bound_at_least: Callable[[int, int], int] | None = None
+    """``f(v, k)`` — max size of a biclique containing lower vertex ``v``
+    with at least ``k`` lower vertices (PMBC-OL* suffix bound)."""
+
+    upper_bound_at_most: Callable[[int, int], int] | None = None
+    """``f(u, i)`` — max size of a biclique containing upper vertex ``u``
+    with at most ``i`` upper vertices (PMBC-OL* prefix bound)."""
+
+    protected_upper: int | None = None
+    """Local upper vertex that must never be pruned (the anchor ``q``)."""
+
+
+class _SearchState:
+    """Mutable incumbent shared across the recursion."""
+
+    __slots__ = ("best_upper", "best_lower", "best_size", "nodes")
+
+    def __init__(self, best_size: int) -> None:
+        self.best_upper: frozenset[int] | None = None
+        self.best_lower: frozenset[int] | None = None
+        self.best_size = best_size
+        self.nodes = 0
+
+
+def branch_and_bound(
+    local: LocalGraph,
+    config: BranchBoundConfig,
+    initial_best_size: int = 0,
+) -> tuple[frozenset[int], frozenset[int]] | None:
+    """Find a biclique larger than ``initial_best_size`` under ``config``.
+
+    Returns local ``(upper_ids, lower_ids)`` of the best biclique whose
+    size strictly exceeds ``initial_best_size`` while meeting the
+    minimum constraints and Lemma 6 caps, or None when no such biclique
+    exists.  Every returned biclique contains ``config.protected_upper``
+    when that vertex is adjacent to all local lower vertices (true for
+    an anchored two-hop subgraph).
+    """
+    state = _SearchState(initial_best_size)
+    p_all = frozenset(range(local.num_upper))
+    candidates = sorted(
+        range(local.num_lower), key=local.degree_lower, reverse=True
+    )
+    _recurse(local, config, state, p_all, frozenset(), candidates, [])
+    if state.best_upper is None:
+        return None
+    return state.best_upper, state.best_lower
+
+
+def _recurse(
+    local: LocalGraph,
+    config: BranchBoundConfig,
+    state: _SearchState,
+    p: frozenset[int],
+    w: frozenset[int],
+    r: list[int],
+    x: list[int],
+) -> None:
+    state.nodes += 1
+    _maybe_record(config, state, p, w)
+
+    adj_lower = local.adj_lower
+    x_current = list(x)
+    for idx, v_star in enumerate(r):
+        # PMBC-OL* candidate skip: v_star would be the (|W|+1)-th lower
+        # vertex of anything recorded below.
+        if config.lower_bound_at_least is not None:
+            if config.lower_bound_at_least(v_star, len(w) + 1) <= state.best_size:
+                x_current.append(v_star)
+                continue
+
+        p_new = p & adj_lower[v_star]
+        if config.upper_bound_at_most is not None:
+            limit = len(p_new)
+            p_new = frozenset(
+                u
+                for u in p_new
+                if u == config.protected_upper
+                or config.upper_bound_at_most(u, limit) > state.best_size
+            )
+        if len(p_new) < config.tau_p:
+            x_current.append(v_star)
+            continue
+
+        w_new = set(w)
+        w_new.add(v_star)
+        r_new: list[int] = []
+        p_size = len(p_new)
+        for v in r[idx + 1 :]:
+            overlap = len(p_new & adj_lower[v])
+            if overlap == p_size:
+                w_new.add(v)  # free vertex: adjacent to all of P'
+            elif overlap >= config.tau_p:
+                r_new.append(v)
+
+        if config.max_w is not None and len(w_new) > config.max_w:
+            x_current.append(v_star)
+            continue
+
+        dominated = False
+        x_new: list[int] = []
+        for v in x_current:
+            overlap = len(p_new & adj_lower[v])
+            if overlap == p_size:
+                dominated = True
+                if config.prune_non_maximal:
+                    break
+            if overlap >= config.tau_p:
+                x_new.append(v)
+        if config.prune_non_maximal and dominated:
+            x_current.append(v_star)
+            continue
+
+        max_possible_p = len(p_new)
+        if config.max_p is not None:
+            max_possible_p = min(max_possible_p, config.max_p)
+        max_possible_w = len(w_new) + len(r_new)
+        if config.max_w is not None:
+            max_possible_w = min(max_possible_w, config.max_w)
+        can_improve = (
+            max_possible_p >= config.tau_p
+            and max_possible_w >= config.tau_w
+            and max_possible_p * max_possible_w > state.best_size
+        )
+        if can_improve:
+            _recurse(
+                local, config, state, p_new, frozenset(w_new), r_new, x_new
+            )
+        x_current.append(v_star)
+
+
+def _maybe_record(
+    config: BranchBoundConfig,
+    state: _SearchState,
+    p: frozenset[int],
+    w: frozenset[int],
+) -> None:
+    if len(p) < config.tau_p or len(w) < config.tau_w:
+        return
+    if config.max_p is not None and len(p) > config.max_p:
+        return
+    if config.max_w is not None and len(w) > config.max_w:
+        return
+    size = len(p) * len(w)
+    if size > state.best_size:
+        state.best_upper = p
+        state.best_lower = w
+        state.best_size = size

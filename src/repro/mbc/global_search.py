@@ -1,0 +1,54 @@
+"""Global (non-personalized) maximum biclique search.
+
+The substrate algorithm of Lyu et al. [5] exposed standalone: the same
+progressive bounding + Branch&Bound machinery run over the whole graph
+(as an unanchored :class:`~repro.graph.subgraph.LocalGraph` view)
+instead of a two-hop subgraph.  Useful on its own and as the
+non-personalized comparison point in the examples.
+"""
+
+from __future__ import annotations
+
+from repro.core.result import Biclique
+from repro.corenum.bounds import CoreBounds
+from repro.graph.bipartite import BipartiteGraph, Side
+from repro.graph.subgraph import LocalGraph
+from repro.mbc.greedy import greedy_biclique
+from repro.mbc.progressive import SearchOptions, maximum_biclique_local
+
+
+def whole_graph_view(graph: BipartiteGraph) -> LocalGraph:
+    """The full graph as an unanchored LocalGraph (upper side up)."""
+    return LocalGraph(
+        adj_upper=[
+            set(graph.neighbors(Side.UPPER, u))
+            for u in range(graph.num_upper)
+        ],
+        adj_lower=[
+            set(graph.neighbors(Side.LOWER, v))
+            for v in range(graph.num_lower)
+        ],
+        upper_globals=list(range(graph.num_upper)),
+        lower_globals=list(range(graph.num_lower)),
+        upper_side=Side.UPPER,
+        q_local=None,
+    )
+
+
+def maximum_biclique(
+    graph: BipartiteGraph,
+    tau_u: int = 1,
+    tau_l: int = 1,
+    bounds: CoreBounds | None = None,
+) -> Biclique | None:
+    """The maximum biclique of ``graph`` under layer-size constraints
+    (Definition 2), or None when no biclique satisfies them."""
+    local = whole_graph_view(graph)
+    seed = greedy_biclique(local, tau_p=tau_u, tau_w=tau_l)
+    options = SearchOptions(bounds=bounds)
+    found = maximum_biclique_local(local, tau_u, tau_l, seed, options)
+    if found is None:
+        return None
+    upper = frozenset(found[0])
+    lower = frozenset(found[1])
+    return Biclique(upper=upper, lower=lower)

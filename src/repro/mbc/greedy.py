@@ -1,0 +1,68 @@
+"""The greedy initial solution ``C*_0`` of the progressive framework.
+
+The paper (Section IV) seeds the search with a biclique grown greedily
+from the query vertex: "it first initializes C*_0 as {q} and then
+iteratively adds a vertex that maximizes |C*_0|".  For an anchored
+two-hop subgraph the anchor is adjacent to every local lower vertex, so
+``({q}, L(H_q))`` is already a biclique and the greedy phase only needs
+to trade lower vertices for additional upper vertices.
+"""
+
+from __future__ import annotations
+
+from repro.graph.subgraph import LocalGraph
+
+
+def greedy_biclique(
+    local: LocalGraph,
+    tau_p: int = 1,
+    tau_w: int = 1,
+) -> tuple[frozenset[int], frozenset[int]] | None:
+    """A greedily grown biclique in local ids, or None.
+
+    Starts from ``({anchor}, N(anchor))`` (or the highest-degree upper
+    vertex when the graph is unanchored) and repeatedly adds the upper
+    vertex whose addition maximizes, lexicographically, (constraint
+    satisfaction, edge count).  Returns None when the greedy result
+    violates the (tau_p, tau_w) constraints — callers then start the
+    search without a seed.
+    """
+    if local.num_upper == 0 or local.num_lower == 0:
+        return None
+    if local.q_local is not None:
+        start = local.q_local
+    else:
+        start = max(range(local.num_upper), key=local.degree_upper)
+    upper = {start}
+    lower = set(local.adj_upper[start])
+    if not lower:
+        return None
+
+    candidates = set(range(local.num_upper)) - upper
+    while candidates:
+        best_u = None
+        best_key = _objective(len(upper), len(lower), tau_p, tau_w)
+        for u in candidates:
+            new_lower_size = len(lower & local.adj_upper[u])
+            key = _objective(len(upper) + 1, new_lower_size, tau_p, tau_w)
+            if key > best_key:
+                best_key = key
+                best_u = u
+        if best_u is None:
+            break
+        upper.add(best_u)
+        lower &= local.adj_upper[best_u]
+        candidates.discard(best_u)
+        candidates = {u for u in candidates if lower & local.adj_upper[u]}
+
+    if len(upper) < tau_p or len(lower) < tau_w:
+        return None
+    return frozenset(upper), frozenset(lower)
+
+
+def _objective(
+    num_upper: int, num_lower: int, tau_p: int, tau_w: int
+) -> tuple[int, int]:
+    """Lexicographic greedy objective: satisfy constraints, then size."""
+    satisfied = min(num_upper, tau_p) + min(num_lower, tau_w)
+    return (satisfied, num_upper * num_lower)

@@ -1,0 +1,123 @@
+"""Brute-force reference implementations (test oracles).
+
+These run in exponential time and are only meant for small graphs in
+the test suite.  They enumerate *closed* bicliques — pairs
+``(S, common(S))`` where ``common(S)`` is the set of vertices adjacent
+to every vertex of ``S`` — which dominate every biclique in any
+size-constrained maximization, so maxima computed over them are exact.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.graph.bipartite import BipartiteGraph, Side
+
+#: Refuse brute force beyond this many subset-side vertices.
+MAX_SUBSET_SIDE = 20
+
+
+def _common_neighbors(
+    graph: BipartiteGraph, side: Side, vertices: frozenset[int]
+) -> frozenset[int]:
+    iterator = iter(vertices)
+    first = next(iterator)
+    common = set(graph.neighbor_set(side, first))
+    for v in iterator:
+        common &= graph.neighbor_set(side, v)
+        if not common:
+            break
+    return frozenset(common)
+
+
+def _subset_side(graph: BipartiteGraph) -> Side:
+    side = (
+        Side.UPPER if graph.num_upper <= graph.num_lower else Side.LOWER
+    )
+    if graph.num_vertices_on(side) > MAX_SUBSET_SIDE:
+        raise ValueError(
+            f"graph too large for brute force: min layer has "
+            f"{graph.num_vertices_on(side)} > {MAX_SUBSET_SIDE} vertices"
+        )
+    return side
+
+
+def all_closed_bicliques(
+    graph: BipartiteGraph,
+) -> list[tuple[frozenset[int], frozenset[int]]]:
+    """All closed bicliques as ``(upper_ids, lower_ids)`` pairs.
+
+    For every non-empty subset ``S`` of the smaller layer with a
+    non-empty common neighborhood ``T``, the pair ``(S, T)`` is
+    emitted (oriented back to upper/lower order).  Every biclique of
+    the graph is contained in one of these with the same subset-side
+    vertex set.
+    """
+    side = _subset_side(graph)
+    n = graph.num_vertices_on(side)
+    results = []
+    for size in range(1, n + 1):
+        for subset in combinations(range(n), size):
+            s = frozenset(subset)
+            t = _common_neighbors(graph, side, s)
+            if not t:
+                continue
+            if side is Side.UPPER:
+                results.append((s, t))
+            else:
+                results.append((t, s))
+    return results
+
+
+def max_biclique_brute(
+    graph: BipartiteGraph, tau_u: int = 1, tau_l: int = 1
+) -> tuple[frozenset[int], frozenset[int]] | None:
+    """The maximum biclique under layer-size constraints, or None.
+
+    Ties are broken arbitrarily; callers should compare sizes, not
+    vertex sets.
+    """
+    best = None
+    best_size = 0
+    for upper, lower in all_closed_bicliques(graph):
+        if len(upper) < tau_u or len(lower) < tau_l:
+            continue
+        size = len(upper) * len(lower)
+        if size > best_size:
+            best = (upper, lower)
+            best_size = size
+    return best
+
+
+def personalized_max_brute(
+    graph: BipartiteGraph, side: Side, q: int, tau_u: int = 1, tau_l: int = 1
+) -> tuple[frozenset[int], frozenset[int]] | None:
+    """The personalized maximum biclique of ``q`` (Definition 3), or None.
+
+    Exhaustive over closed bicliques; a closed biclique not containing
+    ``q`` may still witness a ``q``-containing one when ``q`` is
+    adjacent to the full opposite side, so membership is checked after
+    augmenting with ``q`` where possible.
+    """
+    best = None
+    best_size = 0
+    for upper, lower in all_closed_bicliques(graph):
+        if side is Side.UPPER:
+            own, other = upper, lower
+        else:
+            own, other = lower, upper
+        if q not in own:
+            if other <= graph.neighbor_set(side, q):
+                own = own | {q}
+            else:
+                continue
+        upper_set, lower_set = (
+            (own, other) if side is Side.UPPER else (other, own)
+        )
+        if len(upper_set) < tau_u or len(lower_set) < tau_l:
+            continue
+        size = len(upper_set) * len(lower_set)
+        if size > best_size:
+            best = (upper_set, lower_set)
+            best_size = size
+    return best

@@ -1,0 +1,199 @@
+"""The progressive bounding framework (Algorithm 1 / Algorithm 5).
+
+Drives Branch&Bound over a local (two-hop) subgraph with progressively
+lowered lower-layer floors:
+
+- ``τ_L^0`` = the maximum upper-vertex degree in ``H_q`` (no biclique
+  has more lower vertices than that);
+- each round searches with minimum constraints
+  ``τ_U^{k+1} = max(⌊|C*_k| / τ_L^k⌋, τ_U)`` and
+  ``τ_L^{k+1} = max(⌊τ_L^k / 2⌋, τ_L)``;
+- rounds stop once the floor reaches ``τ_L``.
+
+Every round first prunes with Lemma 9 (``z`` bounds, when a
+:class:`~repro.corenum.bounds.CoreBounds` is supplied — this is what
+upgrades PMBC-OL to PMBC-OL*) and with the one-/two-hop reductions,
+then runs Branch&Bound seeded with the best answer so far.  Raised
+floors early on shrink the reduced subgraph dramatically, which is the
+point of the framework.
+
+All inputs and outputs here are in *local* coordinates relative to the
+supplied :class:`~repro.graph.subgraph.LocalGraph`; the
+:mod:`repro.core.online` layer translates to global ids and handles
+query-side orientation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corenum.bounds import CoreBounds
+from repro.graph.subgraph import LocalGraph
+from repro.mbc.branch_bound import BranchBoundConfig, branch_and_bound
+from repro.mbc.reductions import reduce_preserving_maximum
+
+
+@dataclass
+class SearchOptions:
+    """Optional accelerations for one progressive search."""
+
+    bounds: CoreBounds | None = None
+    """Global (α,β)-core bounds; enables Lemma 9 pruning and the
+    prefix/suffix bounds inside Branch&Bound (PMBC-OL*)."""
+
+    max_p: int | None = None
+    """Lemma 6 cap on local-upper vertices of the answer (inclusive)."""
+
+    max_w: int | None = None
+    """Lemma 6 cap on local-lower vertices of the answer (inclusive)."""
+
+    use_two_hop_reduction: bool = True
+    prune_non_maximal: bool = True
+
+
+def maximum_biclique_local(
+    local: LocalGraph,
+    tau_p: int,
+    tau_w: int,
+    seed: tuple[frozenset[int], frozenset[int]] | None = None,
+    options: SearchOptions | None = None,
+) -> tuple[frozenset[int], frozenset[int]] | None:
+    """The maximum biclique of ``local`` under local-size constraints.
+
+    ``tau_p``/``tau_w`` constrain the local upper/lower layer sizes.
+    ``seed`` is a known valid biclique (local ids) acting as a lower
+    bound; the return value is the seed itself when nothing better
+    exists, or None when no valid biclique exists at all.  When the
+    graph is anchored (``local.q_local`` set), the answer is guaranteed
+    to contain the anchor provided the seed does.
+    """
+    options = options or SearchOptions()
+    if tau_p < 1 or tau_w < 1:
+        raise ValueError(
+            f"size constraints must be >= 1, got ({tau_p}, {tau_w})"
+        )
+    best = seed
+    best_size = len(seed[0]) * len(seed[1]) if seed else 0
+
+    floor_w = local.max_upper_degree()
+    if floor_w < tau_w or local.num_upper < tau_p:
+        return best
+
+    anchored = local.q_local is not None
+    bounds = options.bounds
+    while True:
+        tau_p_k = max(best_size // floor_w, tau_p)
+        tau_w_k = max(floor_w // 2, tau_w)
+
+        working = local
+        if bounds is not None:
+            working = _prune_by_z(working, bounds, best_size, anchored)
+        if working is not None:
+            working = reduce_preserving_maximum(
+                working,
+                tau_p_k,
+                tau_w_k,
+                use_two_hop=options.use_two_hop_reduction,
+            )
+            if not anchored or working.q_local is not None:
+                found = _run_branch_bound(
+                    working, tau_p_k, tau_w_k, best_size, options
+                )
+                if found is not None:
+                    best = _map_back(local, working, found)
+                    best_size = len(best[0]) * len(best[1])
+        if tau_w_k <= tau_w:
+            break
+        floor_w = tau_w_k
+    return best
+
+
+def _prune_by_z(
+    local: LocalGraph, bounds: CoreBounds, best_size: int, anchored: bool
+) -> LocalGraph | None:
+    """Lemma 9: drop vertices whose z bound cannot beat the incumbent.
+
+    Returns None when the anchor itself is bounded out — no anchored
+    biclique can improve, so the caller skips the search entirely.
+    """
+    if best_size <= 0:
+        return local
+    own_side = local.upper_side
+    other_side = own_side.other
+    if anchored:
+        q_global = local.upper_globals[local.q_local]
+        if bounds.z_bound(own_side, q_global) <= best_size:
+            return None
+    upper_keep = [
+        u
+        for u, g in enumerate(local.upper_globals)
+        if bounds.z_bound(own_side, g) > best_size
+    ]
+    lower_keep = [
+        v
+        for v, g in enumerate(local.lower_globals)
+        if bounds.z_bound(other_side, g) > best_size
+    ]
+    if len(upper_keep) == local.num_upper and len(lower_keep) == local.num_lower:
+        return local
+    return local.restrict(upper_keep, lower_keep)
+
+
+def _run_branch_bound(
+    working: LocalGraph,
+    tau_p_k: int,
+    tau_w_k: int,
+    best_size: int,
+    options: SearchOptions,
+) -> tuple[frozenset[int], frozenset[int]] | None:
+    lower_hook = None
+    upper_hook = None
+    if options.bounds is not None:
+        bounds = options.bounds
+        own_side = working.upper_side
+        other_side = own_side.other
+        lower_globals = working.lower_globals
+        upper_globals = working.upper_globals
+
+        def lower_hook(v: int, k: int) -> int:
+            return bounds.own_side_at_least(other_side, lower_globals[v], k)
+
+        def upper_hook(u: int, i: int) -> int:
+            return bounds.own_side_at_most(own_side, upper_globals[u], i)
+
+    config = BranchBoundConfig(
+        tau_p=tau_p_k,
+        tau_w=tau_w_k,
+        max_p=options.max_p,
+        max_w=options.max_w,
+        # PMBC-OL* discards the maximality check (Section VI-C): the
+        # core bounds make it redundant, and with bounds-based skips it
+        # is cheaper to drop it.
+        prune_non_maximal=options.prune_non_maximal
+        and options.bounds is None,
+        lower_bound_at_least=lower_hook,
+        upper_bound_at_most=upper_hook,
+        protected_upper=working.q_local,
+    )
+    return branch_and_bound(working, config, best_size)
+
+
+def _map_back(
+    original: LocalGraph,
+    working: LocalGraph,
+    found: tuple[frozenset[int], frozenset[int]],
+) -> tuple[frozenset[int], frozenset[int]]:
+    """Translate a result from the reduced graph back to original local ids."""
+    upper_global_to_local = {
+        g: i for i, g in enumerate(original.upper_globals)
+    }
+    lower_global_to_local = {
+        g: i for i, g in enumerate(original.lower_globals)
+    }
+    upper = frozenset(
+        upper_global_to_local[working.upper_globals[u]] for u in found[0]
+    )
+    lower = frozenset(
+        lower_global_to_local[working.lower_globals[v]] for v in found[1]
+    )
+    return upper, lower

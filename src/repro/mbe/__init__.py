@@ -1,0 +1,19 @@
+"""Maximal biclique enumeration substrate.
+
+An iMBEA-style enumerator (Zhang et al., BMC Bioinformatics 2014 — the
+algorithm the paper's Branch&Bound is adapted from).  Used as an
+independent ground-truth oracle in the test suite and to support the
+related-work comparisons.
+"""
+
+from repro.mbe.imbea import (
+    enumerate_maximal_bicliques,
+    maximal_biclique_count,
+    personalized_max_from_enumeration,
+)
+
+__all__ = [
+    "enumerate_maximal_bicliques",
+    "maximal_biclique_count",
+    "personalized_max_from_enumeration",
+]

@@ -1,0 +1,18 @@
+"""Maximum vertex biclique (MVB) substrate.
+
+The related-work variant the paper contrasts against (Section II): MVB
+maximizes the number of *vertices* of a biclique rather than edges and
+is polynomial-time solvable — a biclique of ``G`` is an independent
+set of the bipartite complement, so König's theorem applied to a
+maximum matching of the complement solves it exactly.  Ships its own
+Hopcroft–Karp implementation.
+"""
+
+from repro.mvb.matching import hopcroft_karp, konig_vertex_cover
+from repro.mvb.mvb import maximum_vertex_biclique
+
+__all__ = [
+    "hopcroft_karp",
+    "konig_vertex_cover",
+    "maximum_vertex_biclique",
+]

@@ -1,0 +1,101 @@
+"""Hopcroft–Karp maximum bipartite matching and König vertex covers.
+
+Self-contained substrate: operates on a plain adjacency structure
+``adj[u] -> iterable of lower ids`` so it can run on complement graphs
+without materializing a :class:`BipartiteGraph`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+_INF = float("inf")
+
+
+def hopcroft_karp(
+    adj: Sequence[Sequence[int]], num_lower: int
+) -> tuple[int, list[int | None], list[int | None]]:
+    """Maximum matching of a bipartite graph in ``O(E·√V)``.
+
+    ``adj[u]`` lists the lower-layer neighbors of upper vertex ``u``.
+    Returns ``(size, match_upper, match_lower)`` where
+    ``match_upper[u]`` is the lower vertex matched to ``u`` (or None)
+    and vice versa.
+    """
+    num_upper = len(adj)
+    match_upper: list[int | None] = [None] * num_upper
+    match_lower: list[int | None] = [None] * num_lower
+    dist: list[float] = [0.0] * num_upper
+
+    def bfs() -> bool:
+        queue: deque[int] = deque()
+        for u in range(num_upper):
+            if match_upper[u] is None:
+                dist[u] = 0.0
+                queue.append(u)
+            else:
+                dist[u] = _INF
+        found_free = False
+        while queue:
+            u = queue.popleft()
+            for v in adj[u]:
+                nxt = match_lower[v]
+                if nxt is None:
+                    found_free = True
+                elif dist[nxt] == _INF:
+                    dist[nxt] = dist[u] + 1
+                    queue.append(nxt)
+        return found_free
+
+    def dfs(u: int) -> bool:
+        for v in adj[u]:
+            nxt = match_lower[v]
+            if nxt is None or (dist[nxt] == dist[u] + 1 and dfs(nxt)):
+                match_upper[u] = v
+                match_lower[v] = u
+                return True
+        dist[u] = _INF
+        return False
+
+    size = 0
+    while bfs():
+        for u in range(num_upper):
+            if match_upper[u] is None and dfs(u):
+                size += 1
+    return size, match_upper, match_lower
+
+
+def konig_vertex_cover(
+    adj: Sequence[Sequence[int]],
+    num_lower: int,
+    match_upper: Sequence[int | None],
+    match_lower: Sequence[int | None],
+) -> tuple[set[int], set[int]]:
+    """A minimum vertex cover from a maximum matching (König's theorem).
+
+    Returns ``(cover_upper, cover_lower)``.  The complement of the
+    cover is a maximum independent set.
+    """
+    num_upper = len(adj)
+    # Alternating BFS from unmatched upper vertices.
+    visited_upper = [False] * num_upper
+    visited_lower = [False] * num_lower
+    queue: deque[int] = deque(
+        u for u in range(num_upper) if match_upper[u] is None
+    )
+    for u in queue:
+        visited_upper[u] = True
+    while queue:
+        u = queue.popleft()
+        for v in adj[u]:
+            if visited_lower[v]:
+                continue
+            visited_lower[v] = True
+            nxt = match_lower[v]
+            if nxt is not None and not visited_upper[nxt]:
+                visited_upper[nxt] = True
+                queue.append(nxt)
+    cover_upper = {u for u in range(num_upper) if not visited_upper[u]}
+    cover_lower = {v for v in range(num_lower) if visited_lower[v]}
+    return cover_upper, cover_lower

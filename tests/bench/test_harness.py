@@ -1,0 +1,70 @@
+"""Unit tests for timing helpers, result persistence and formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import (
+    load_results,
+    save_results,
+    time_callable,
+)
+from repro.bench.tables import format_series, format_table
+
+
+def test_time_callable_counts_and_returns():
+    calls = []
+
+    def fn():
+        calls.append(1)
+        return "x"
+
+    timed = time_callable(fn, repeat=3)
+    assert len(calls) == 3
+    assert timed.result == "x"
+    assert timed.seconds >= 0
+
+
+def test_time_callable_validates():
+    with pytest.raises(ValueError):
+        time_callable(lambda: None, repeat=0)
+
+
+def test_save_and_load_results(tmp_path, monkeypatch):
+    monkeypatch.setenv("PMBC_RESULTS_DIR", str(tmp_path))
+    payload = {"dataset": "Writers", "seconds": 0.5}
+    path = save_results("unit_test_exp", payload)
+    assert path.exists()
+    assert load_results("unit_test_exp") == payload
+    assert load_results("missing_exp") is None
+
+
+def test_format_table_alignment():
+    out = format_table(
+        ["Dataset", "Time (s)"],
+        [["Writers", 0.35], ["DBLP", 733.88]],
+        title="Table III",
+    )
+    lines = out.splitlines()
+    assert lines[0] == "Table III"
+    assert "Dataset" in lines[1]
+    assert "Writers" in lines[3]
+    assert "733.88" in lines[4]
+
+
+def test_format_table_small_floats_use_scientific():
+    out = format_table(["x"], [[0.0000042]])
+    assert "4.200e-06" in out
+
+
+def test_format_series():
+    out = format_series(
+        "t",
+        [1, 8, 16],
+        {"IC": [10.0, 2.0, 1.2], "IC*": [5.0, 1.0, 0.7]},
+        title="Fig 8",
+    )
+    lines = out.splitlines()
+    assert lines[0] == "Fig 8"
+    assert "IC*" in lines[1]
+    assert len(lines) == 6

@@ -1,0 +1,81 @@
+"""Unit tests for the markdown report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import save_results
+from repro.bench.report import (
+    fig6_markdown,
+    fig8_markdown,
+    full_report,
+    table3_markdown,
+)
+
+
+@pytest.fixture(autouse=True)
+def isolated_results(tmp_path, monkeypatch):
+    monkeypatch.setenv("PMBC_RESULTS_DIR", str(tmp_path))
+
+
+def test_missing_results_reported():
+    assert fig6_markdown() is None
+    assert "No results found" in full_report()
+
+
+def test_fig6_table():
+    save_results(
+        "fig6_query_time",
+        {
+            "Writers": {
+                "PMBC-OL_ms": 0.5,
+                "PMBC-OL*_ms": 0.4,
+                "PMBC-IQ_ms": 0.005,
+            }
+        },
+    )
+    out = fig6_markdown()
+    assert "| Writers |" in out
+    assert "100x" in out  # 0.5 / 0.005
+
+
+def test_table3():
+    save_results(
+        "table3_index_build",
+        {
+            "Writers": {
+                "IC_seconds": 0.3,
+                "IC_star_seconds": 0.25,
+                "graph_kb": 10.0,
+                "tree_kb": 30.0,
+                "array_kb": 10.0,
+            },
+            "basic_index": {"dataset": "Writers", "seconds": 2.0, "kb": 66.0},
+        },
+    )
+    out = table3_markdown()
+    assert "ratio" in out
+    assert "| Writers |" in out
+    assert "Basic index on Writers" in out
+    assert "4" in out  # ratio (30+10)/10
+
+
+def test_fig8_series():
+    save_results(
+        "fig8_parallel",
+        {"DBLP": {"IC speedup": [1, 7, 14, 20, 25, 28, 30],
+                  "IC* speedup": [1, 7, 13, 19, 24, 27, 29]}},
+    )
+    out = fig8_markdown()
+    assert "Fig 8 (DBLP)" in out
+    assert "| 48 |" in out
+
+
+def test_full_report_concatenates():
+    save_results(
+        "fig6_query_time",
+        {"X": {"PMBC-OL_ms": 1.0, "PMBC-OL*_ms": 0.9, "PMBC-IQ_ms": 0.01}},
+    )
+    out = full_report()
+    assert "Fig 6" in out
+    assert "Table III" not in out  # missing sections skipped

@@ -1,0 +1,83 @@
+"""Unit tests for the query workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import top_degree_queries
+from repro.graph.bipartite import Side
+from repro.graph.generators import random_bipartite
+
+
+def test_queries_come_from_top_pool(medium_planted_graph):
+    graph = medium_planted_graph
+    queries = top_degree_queries(graph, num_queries=10, pool_size=20, seed=3)
+    assert len(queries) == 10
+    degrees = sorted(
+        (
+            graph.degree(side, v)
+            for side in Side
+            for v in range(graph.num_vertices_on(side))
+        ),
+        reverse=True,
+    )
+    threshold = degrees[19]
+    for side, v in queries:
+        assert graph.degree(side, v) >= threshold
+
+
+def test_single_side_restriction(medium_planted_graph):
+    queries = top_degree_queries(
+        medium_planted_graph, num_queries=5, side=Side.LOWER, seed=1
+    )
+    assert all(side is Side.LOWER for side, __ in queries)
+
+
+def test_deterministic_and_distinct(medium_planted_graph):
+    a = top_degree_queries(medium_planted_graph, num_queries=8, seed=5)
+    b = top_degree_queries(medium_planted_graph, num_queries=8, seed=5)
+    c = top_degree_queries(medium_planted_graph, num_queries=8, seed=6)
+    assert a == b
+    assert a != c
+    assert len(set(a)) == len(a)
+
+
+def test_small_pool_returns_everything():
+    graph = random_bipartite(3, 3, 1.0, seed=0)
+    queries = top_degree_queries(graph, num_queries=50, pool_size=50)
+    assert len(queries) == 6
+
+
+def test_validation(paper_graph):
+    with pytest.raises(ValueError):
+        top_degree_queries(paper_graph, num_queries=0)
+    with pytest.raises(ValueError):
+        top_degree_queries(paper_graph, pool_size=0)
+
+
+def test_uniform_queries(medium_planted_graph):
+    from repro.bench.workloads import uniform_queries
+
+    queries = uniform_queries(medium_planted_graph, num_queries=12, seed=4)
+    assert len(queries) == 12
+    assert len(set(queries)) == 12
+    for side, v in queries:
+        assert medium_planted_graph.degree(side, v) > 0
+    assert queries == uniform_queries(
+        medium_planted_graph, num_queries=12, seed=4
+    )
+    with pytest.raises(ValueError):
+        uniform_queries(medium_planted_graph, num_queries=0)
+
+
+def test_low_degree_queries(medium_planted_graph):
+    from repro.bench.workloads import low_degree_queries, top_degree_queries
+
+    graph = medium_planted_graph
+    low = low_degree_queries(graph, num_queries=10, seed=2)
+    high = top_degree_queries(graph, num_queries=10, seed=2)
+    mean_low = sum(graph.degree(s, v) for s, v in low) / len(low)
+    mean_high = sum(graph.degree(s, v) for s, v in high) / len(high)
+    assert mean_low < mean_high
+    with pytest.raises(ValueError):
+        low_degree_queries(graph, pool_factor=0)

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import (
+    paper_example_graph,
+    planted_biclique_graph,
+    power_law_bipartite,
+    random_bipartite,
+)
+
+
+@pytest.fixture
+def paper_graph():
+    """The Figure 2 running-example graph (reconstructed)."""
+    return paper_example_graph()
+
+
+@pytest.fixture
+def small_random_graph():
+    """A small dense-ish random bipartite graph for oracle comparisons."""
+    return random_bipartite(8, 8, 0.4, seed=42)
+
+
+@pytest.fixture
+def medium_planted_graph():
+    """A medium graph with planted bicliques for integration tests."""
+    return planted_biclique_graph(
+        60, 50, 220, planted=((6, 5), (5, 4), (4, 6)), seed=7
+    )
+
+
+@pytest.fixture
+def skewed_graph():
+    """A heavy-tailed graph exercising degree-skew code paths."""
+    return power_law_bipartite(80, 60, 300, exponent=1.4, seed=11)

@@ -1,0 +1,84 @@
+"""Concurrency stress tests for the shared structures of Algorithm 6."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core import Biclique
+from repro.core.parallel import _LockedBicliqueArray
+from repro.core.skyline import SkylineIndex
+from repro.graph.generators import complete_bipartite
+from repro.graph.bipartite import Side
+
+
+def test_locked_array_concurrent_dedup():
+    """Many threads adding overlapping bicliques: ids stay consistent
+    and duplicates never enter the array."""
+    array = _LockedBicliqueArray()
+    bicliques = [
+        Biclique(upper=frozenset({i % 7}), lower=frozenset({j % 5}))
+        for i in range(7)
+        for j in range(5)
+    ]
+    results: list[list[tuple[int, bool]]] = [[] for __ in range(8)]
+
+    def worker(slot: int) -> None:
+        for __ in range(50):
+            for biclique in bicliques:
+                results[slot].append(array.add(biclique))
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(8)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    # Exactly 35 distinct bicliques, each with one stable id.
+    assert len(array) == 35
+    id_by_signature = {}
+    for slot in results:
+        for (biclique_id, __), biclique in zip(slot, bicliques * 50):
+            signature = biclique.signature()
+            id_by_signature.setdefault(signature, biclique_id)
+            assert id_by_signature[signature] == biclique_id
+    # "Newly added" fired exactly once per distinct biclique.
+    new_count = sum(
+        1 for slot in results for __, newly in slot if newly
+    )
+    assert new_count == 35
+
+
+def test_locking_skyline_concurrent_updates():
+    graph = complete_bipartite(8, 8)
+    array = _LockedBicliqueArray()
+    skyline = SkylineIndex(graph, array, locking=True)
+    shapes = [(a, b) for a in range(1, 7) for b in range(1, 7)]
+
+    def worker(offset: int) -> None:
+        for a, b in shapes[offset:] + shapes[:offset]:
+            biclique = Biclique(
+                upper=frozenset(range(a)), lower=frozenset(range(b))
+            )
+            biclique_id, __ = array.add(biclique)
+            skyline.update(biclique, biclique_id)
+            skyline.lookup(Side.UPPER, 0, 1, 1)
+
+    threads = [
+        threading.Thread(target=worker, args=(i * 5,)) for i in range(6)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    # Vertex 0 is in every shape; its skyline must reduce to the single
+    # dominating (6,6) entry and stay an antichain.
+    entries = [array[i] for i in skyline.entries(Side.UPPER, 0)]
+    assert entries
+    for i, first in enumerate(entries):
+        for second in entries[i + 1 :]:
+            assert not first.dominates(second)
+            assert not second.dominates(first)
+    assert any(e.shape == (6, 6) for e in entries)

@@ -1,0 +1,120 @@
+"""Unit tests for PMBC-IC / PMBC-IC* construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    build_index,
+    build_index_star,
+    pmbc_index_query,
+    pmbc_online,
+)
+from repro.core.construction import vertex_constraint_limits
+from repro.graph.bipartite import Side
+from repro.graph.generators import random_bipartite, star
+
+
+def test_vertex_constraint_limits(paper_graph):
+    q = paper_graph.vertex_by_label(Side.UPPER, "u1")
+    limit_u, limit_l = vertex_constraint_limits(paper_graph, Side.UPPER, q)
+    # tau_l is capped by deg(u1) = 4; tau_u by the largest neighbor
+    # degree (v1 and v2 have degree 5).
+    assert limit_l == 4
+    assert limit_u == 5
+    v = paper_graph.vertex_by_label(Side.LOWER, "v5")
+    limit_u, limit_l = vertex_constraint_limits(paper_graph, Side.LOWER, v)
+    assert limit_u == 3  # deg(v5)
+    assert limit_l == 5  # deg(u5)
+
+
+def test_ic_and_ic_star_agree_on_query_answers(medium_planted_graph):
+    graph = medium_planted_graph
+    plain = build_index(graph)
+    star_index = build_index_star(graph)
+    for side in Side:
+        step = max(1, graph.num_vertices_on(side) // 10)
+        for q in range(0, graph.num_vertices_on(side), step):
+            for tau_u, tau_l in ((1, 1), (2, 2), (3, 3), (4, 2)):
+                a = pmbc_index_query(plain, side, q, tau_u, tau_l)
+                b = pmbc_index_query(star_index, side, q, tau_u, tau_l)
+                assert (a.num_edges if a else 0) == (
+                    b.num_edges if b else 0
+                ), (side, q, tau_u, tau_l)
+
+
+def test_index_answers_match_online(medium_planted_graph):
+    graph = medium_planted_graph
+    index = build_index_star(graph)
+    for side in Side:
+        step = max(1, graph.num_vertices_on(side) // 8)
+        for q in range(0, graph.num_vertices_on(side), step):
+            for tau_u, tau_l in ((1, 1), (2, 3), (3, 2)):
+                via_index = pmbc_index_query(index, side, q, tau_u, tau_l)
+                via_online = pmbc_online(graph, side, q, tau_u, tau_l)
+                assert (via_index.num_edges if via_index else 0) == (
+                    via_online.num_edges if via_online else 0
+                ), (side, q, tau_u, tau_l)
+
+
+def test_instrumentation(paper_graph):
+    index, stats = build_index_star(paper_graph, instrument=True)
+    assert stats.seconds > 0
+    assert stats.online_calls >= index.num_tree_nodes
+    assert len(stats.per_vertex_seconds[Side.UPPER]) == paper_graph.num_upper
+    assert len(stats.per_vertex_seconds[Side.LOWER]) == paper_graph.num_lower
+
+
+def test_cost_sharing_seeds_hit(medium_planted_graph):
+    """IC* must actually reuse previously computed bicliques."""
+    __, stats = build_index_star(medium_planted_graph, instrument=True)
+    assert stats.skyline_seed_hits > 0
+
+
+def test_array_is_shared_across_vertices(paper_graph):
+    """Multiple query vertices share one biclique instance in A
+    (Lemma 10 / the p_c design); A must be smaller than the total
+    number of non-empty tree nodes."""
+    index = build_index_star(paper_graph)
+    stored_nodes = sum(
+        1
+        for side in Side
+        for tree in index.trees[side]
+        for node in tree.walk()
+        if node.biclique_id is not None
+    )
+    assert index.num_bicliques < stored_nodes
+
+
+def test_total_biclique_bound(medium_planted_graph):
+    """Lemma 10: |A| <= sum of degrees."""
+    index = build_index_star(medium_planted_graph)
+    degree_sum = sum(
+        medium_planted_graph.degree(side, v)
+        for side in Side
+        for v in range(medium_planted_graph.num_vertices_on(side))
+    )
+    assert index.num_bicliques <= degree_sum
+
+
+def test_star_graph_index():
+    graph = star(4)
+    index = build_index_star(graph)
+    center = pmbc_index_query(index, Side.UPPER, 0, 1, 4)
+    assert center is not None and center.shape == (1, 4)
+    assert pmbc_index_query(index, Side.UPPER, 0, 2, 1) is None
+    leaf = pmbc_index_query(index, Side.LOWER, 1, 1, 1)
+    assert leaf is not None
+    assert leaf.contains(Side.LOWER, 1)
+
+
+def test_build_without_core_bounds_matches(paper_graph):
+    """use_core_bounds=False (plain PMBC-OL inside) gives equal answers."""
+    fast = build_index_star(paper_graph)
+    slow = build_index_star(paper_graph, use_core_bounds=False)
+    for side in Side:
+        for q in range(paper_graph.num_vertices_on(side)):
+            for tau_u, tau_l in ((1, 1), (2, 2), (5, 1), (1, 4)):
+                a = pmbc_index_query(fast, side, q, tau_u, tau_l)
+                b = pmbc_index_query(slow, side, q, tau_u, tau_l)
+                assert (a.num_edges if a else 0) == (b.num_edges if b else 0)

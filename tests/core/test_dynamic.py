@@ -1,0 +1,254 @@
+"""Unit tests for dynamic PMBC-Index maintenance (future-work extension)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import build_index_star, pmbc_index_query
+from repro.core.dynamic import DynamicPMBCIndex
+from repro.graph.bipartite import BipartiteGraph, Side
+from repro.graph.generators import paper_example_graph, random_bipartite
+from repro.mbc.oracle import personalized_max_brute
+
+
+def _assert_matches_fresh_build(dynamic: DynamicPMBCIndex):
+    """Every query on the dynamic index equals a from-scratch build."""
+    graph = dynamic.graph()
+    fresh = build_index_star(graph)
+    for side in Side:
+        for q in range(graph.num_vertices_on(side)):
+            for tau_u, tau_l in ((1, 1), (2, 2), (3, 1), (1, 3)):
+                a = dynamic.query(side, q, tau_u, tau_l)
+                b = pmbc_index_query(fresh, side, q, tau_u, tau_l)
+                assert (a.num_edges if a else 0) == (
+                    b.num_edges if b else 0
+                ), (side, q, tau_u, tau_l)
+
+
+def test_initial_state_matches_static(paper_graph):
+    dynamic = DynamicPMBCIndex(paper_graph)
+    _assert_matches_fresh_build(dynamic)
+
+
+def test_insert_edge_updates_answers(paper_graph):
+    dynamic = DynamicPMBCIndex(paper_graph)
+    u2 = paper_graph.vertex_by_label(Side.UPPER, "u2")
+    v4 = paper_graph.vertex_by_label(Side.LOWER, "v4")
+    # Before: the (2x4) {u1,u4} x {v1..v4} is the best for tau_l=4.
+    before = dynamic.query(Side.UPPER, 0, 1, 4)
+    assert before.shape == (2, 4)
+    rebuilt = dynamic.insert_edge(u2, v4)
+    assert rebuilt > 0
+    after = dynamic.query(Side.UPPER, 0, 1, 4)
+    assert after.shape == (3, 4)  # u2 now joins the block
+    _assert_matches_fresh_build(dynamic)
+
+
+def test_insert_existing_edge_is_noop(paper_graph):
+    dynamic = DynamicPMBCIndex(paper_graph)
+    before = dynamic.trees_rebuilt
+    assert dynamic.insert_edge(0, 0) == 0
+    assert dynamic.trees_rebuilt == before
+
+
+def test_delete_edge_updates_answers(paper_graph):
+    dynamic = DynamicPMBCIndex(paper_graph)
+    u4 = paper_graph.vertex_by_label(Side.UPPER, "u4")
+    v3 = paper_graph.vertex_by_label(Side.LOWER, "v3")
+    assert dynamic.query(Side.UPPER, 0, 1, 1).shape == (4, 3)
+    dynamic.delete_edge(u4, v3)
+    # The 4x3 block loses u4; best for u1 becomes 3x3 or 5x2 (10 edges).
+    result = dynamic.query(Side.UPPER, 0, 1, 1)
+    assert result.num_edges == 10
+    _assert_matches_fresh_build(dynamic)
+
+
+def test_delete_missing_edge_raises(paper_graph):
+    dynamic = DynamicPMBCIndex(paper_graph)
+    u1 = paper_graph.vertex_by_label(Side.UPPER, "u1")
+    v5 = paper_graph.vertex_by_label(Side.LOWER, "v5")
+    with pytest.raises(KeyError):
+        dynamic.delete_edge(u1, v5)
+
+
+def test_insert_extends_layers(paper_graph):
+    dynamic = DynamicPMBCIndex(paper_graph)
+    new_upper = paper_graph.num_upper + 1
+    new_lower = paper_graph.num_lower
+    dynamic.insert_edge(new_upper, new_lower)
+    assert dynamic.has_edge(new_upper, new_lower)
+    result = dynamic.query(Side.UPPER, new_upper, 1, 1)
+    assert result is not None
+    assert result.shape == (1, 1)
+    # The id gap created an isolated vertex with an empty tree.
+    assert dynamic.query(Side.UPPER, paper_graph.num_upper, 1, 1) is None
+
+
+def test_compact_removes_stranded_bicliques(paper_graph):
+    dynamic = DynamicPMBCIndex(paper_graph)
+    u4 = paper_graph.vertex_by_label(Side.UPPER, "u4")
+    for v_name in ("v1", "v2", "v3", "v4"):
+        dynamic.delete_edge(
+            u4, paper_graph.vertex_by_label(Side.LOWER, v_name)
+        )
+    removed = dynamic.compact()
+    assert removed >= 0
+    _assert_matches_fresh_build(dynamic)
+    # Compaction twice is a no-op.
+    assert dynamic.compact() == 0
+
+
+def test_randomized_update_sequence_stays_correct():
+    rng = random.Random(5)
+    graph = random_bipartite(7, 7, 0.4, seed=5)
+    dynamic = DynamicPMBCIndex(graph)
+    present = set(graph.edges())
+    absent = {
+        (u, v)
+        for u in range(graph.num_upper)
+        for v in range(graph.num_lower)
+    } - present
+    for step in range(12):
+        if absent and (not present or rng.random() < 0.5):
+            edge = rng.choice(sorted(absent))
+            dynamic.insert_edge(*edge)
+            absent.discard(edge)
+            present.add(edge)
+        else:
+            edge = rng.choice(sorted(present))
+            dynamic.delete_edge(*edge)
+            present.discard(edge)
+            absent.add(edge)
+    current = dynamic.graph()
+    for side in Side:
+        for q in range(current.num_vertices_on(side)):
+            if current.degree(side, q) == 0:
+                assert dynamic.query(side, q, 1, 1) is None
+                continue
+            for tau_u, tau_l in ((1, 1), (2, 2)):
+                got = dynamic.query(side, q, tau_u, tau_l)
+                expected = personalized_max_brute(
+                    current, side, q, tau_u, tau_l
+                )
+                got_size = got.num_edges if got else 0
+                exp_size = (
+                    len(expected[0]) * len(expected[1]) if expected else 0
+                )
+                assert got_size == exp_size, (side, q, tau_u, tau_l)
+
+
+def test_apply_updates_batch(paper_graph):
+    dynamic = DynamicPMBCIndex(paper_graph)
+    u2 = paper_graph.vertex_by_label(Side.UPPER, "u2")
+    u4 = paper_graph.vertex_by_label(Side.UPPER, "u4")
+    v3 = paper_graph.vertex_by_label(Side.LOWER, "v3")
+    v4 = paper_graph.vertex_by_label(Side.LOWER, "v4")
+    rebuilt = dynamic.apply_updates(
+        [("insert", u2, v4), ("delete", u4, v3)]
+    )
+    assert rebuilt > 0
+    assert dynamic.has_edge(u2, v4)
+    assert not dynamic.has_edge(u4, v3)
+    _assert_matches_fresh_build(dynamic)
+
+
+def test_apply_updates_batched_vs_sequential(paper_graph):
+    batched = DynamicPMBCIndex(paper_graph)
+    sequential = DynamicPMBCIndex(paper_graph)
+    updates = [("insert", 1, 3), ("insert", 2, 4), ("delete", 0, 0)]
+    batch_rebuilds = batched.apply_updates(updates)
+    seq_rebuilds = 0
+    for action, u, v in updates:
+        if action == "insert":
+            seq_rebuilds += sequential.insert_edge(u, v)
+        else:
+            seq_rebuilds += sequential.delete_edge(u, v)
+    # Batching rebuilds the affected union once.
+    assert batch_rebuilds <= seq_rebuilds
+    for side in Side:
+        for q in range(batched.num_vertices_on(side)):
+            a = batched.query(side, q, 1, 1)
+            b = sequential.query(side, q, 1, 1)
+            assert (a.num_edges if a else 0) == (b.num_edges if b else 0)
+
+
+def test_delete_vertex(paper_graph):
+    dynamic = DynamicPMBCIndex(paper_graph)
+    u4 = paper_graph.vertex_by_label(Side.UPPER, "u4")
+    rebuilt = dynamic.delete_vertex(Side.UPPER, u4)
+    assert rebuilt > 0
+    assert dynamic.query(Side.UPPER, u4, 1, 1) is None
+    # Both the 4x3 block and the 5x2 lost u4: u1's best is the 3x3
+    # {u1,u2,u3} x {v1,v2,v3} with 9 edges.
+    assert dynamic.query(Side.UPPER, 0, 1, 1).num_edges == 9
+    _assert_matches_fresh_build(dynamic)
+    # Deleting again is a no-op.
+    assert dynamic.delete_vertex(Side.UPPER, u4) == 0
+    with pytest.raises(ValueError):
+        dynamic.delete_vertex(Side.UPPER, 99)
+
+
+def test_insert_vertex(paper_graph):
+    dynamic = DynamicPMBCIndex(paper_graph)
+    v1 = paper_graph.vertex_by_label(Side.LOWER, "v1")
+    v2 = paper_graph.vertex_by_label(Side.LOWER, "v2")
+    v3 = paper_graph.vertex_by_label(Side.LOWER, "v3")
+    new_id, rebuilt = dynamic.insert_vertex(Side.UPPER, [v1, v2, v3])
+    assert new_id == paper_graph.num_upper
+    assert rebuilt > 0
+    # The new clone joins the 4x3 block: now 5x3.
+    result = dynamic.query(Side.UPPER, new_id, 1, 1)
+    assert result.shape == (5, 3)
+    _assert_matches_fresh_build(dynamic)
+    # Isolated insert touches nothing.
+    lonely, rebuilt = dynamic.insert_vertex(Side.LOWER, [])
+    assert rebuilt == 0
+    assert dynamic.query(Side.LOWER, lonely, 1, 1) is None
+
+
+def test_apply_updates_validation(paper_graph):
+    dynamic = DynamicPMBCIndex(paper_graph)
+    with pytest.raises(KeyError):
+        dynamic.apply_updates([("insert", 0, 0)])  # already present
+    with pytest.raises(KeyError):
+        dynamic.apply_updates([("delete", 0, 5)])  # absent
+    with pytest.raises(ValueError):
+        dynamic.apply_updates([("upsert", 0, 0)])
+
+
+def test_deletion_keeps_bounds_insertion_invalidates(paper_graph, monkeypatch):
+    from repro.core import dynamic as dynamic_module
+
+    calls = []
+    real = dynamic_module.compute_bounds
+
+    def counting(graph):
+        calls.append(1)
+        return real(graph)
+
+    monkeypatch.setattr(dynamic_module, "compute_bounds", counting)
+    dynamic = DynamicPMBCIndex(paper_graph)
+    assert len(calls) == 1  # initial build
+    dynamic.delete_edge(0, 0)
+    # Stale-but-valid bounds are retained after deletions: no recompute.
+    assert len(calls) == 1
+    dynamic.insert_edge(0, 0)
+    # Insertions can grow cores, so bounds must be recomputed.
+    assert len(calls) == 2
+    _assert_matches_fresh_build(dynamic)
+
+
+def test_static_view_exposes_stats(paper_graph):
+    dynamic = DynamicPMBCIndex(paper_graph)
+    view = dynamic.index
+    assert view.num_bicliques > 0
+    assert view.num_tree_nodes > 0
+
+
+def test_without_core_bounds(paper_graph):
+    dynamic = DynamicPMBCIndex(paper_graph, use_core_bounds=False)
+    assert dynamic.query(Side.UPPER, 0, 1, 1).shape == (4, 3)
+    dynamic.insert_edge(1, 3)
+    _assert_matches_fresh_build(dynamic)

@@ -1,0 +1,134 @@
+"""Unit tests for the PMBC-Index structure, array and serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Biclique, build_index_star
+from repro.core.index import (
+    BicliqueArray,
+    PMBCIndex,
+    SearchTree,
+    SearchTreeNode,
+)
+from repro.core.query import pmbc_index_query
+from repro.graph.bipartite import Side
+
+
+def test_biclique_array_deduplicates():
+    array = BicliqueArray()
+    a = Biclique(upper=frozenset({1, 2}), lower=frozenset({3}))
+    b = Biclique(upper=frozenset({2, 1}), lower=frozenset({3}))
+    c = Biclique(upper=frozenset({1}), lower=frozenset({3}))
+    id_a, new_a = array.add(a)
+    id_b, new_b = array.add(b)
+    id_c, new_c = array.add(c)
+    assert new_a and not new_b and new_c
+    assert id_a == id_b != id_c
+    assert len(array) == 2
+    assert array[id_a] == a
+    assert list(array) == [a, c]
+
+
+def test_search_tree_root():
+    tree = SearchTree()
+    assert tree.root is None
+    tree.nodes.append(SearchTreeNode(tau_u=1, tau_l=1))
+    assert tree.root.tau_u == 1
+    assert len(tree) == 1
+    assert list(tree.walk()) == tree.nodes
+
+
+def test_index_stats_and_sizes(paper_graph):
+    index = build_index_star(paper_graph)
+    stats = index.stats()
+    assert stats["num_bicliques"] == index.num_bicliques > 0
+    assert stats["num_tree_nodes"] == index.num_tree_nodes > 0
+    assert stats["tree_size_bytes"] == index.num_tree_nodes * 5 * 8
+    assert stats["array_size_bytes"] == sum(
+        (len(b.upper) + len(b.lower) + 2) * 8 for b in index.array
+    )
+    assert (
+        stats["total_size_bytes"]
+        == stats["tree_size_bytes"] + stats["array_size_bytes"]
+    )
+
+
+def test_every_tree_node_points_to_valid_biclique(paper_graph):
+    index = build_index_star(paper_graph)
+    for side in Side:
+        for v, tree in enumerate(index.trees[side]):
+            for node in tree.walk():
+                if node.biclique_id is None:
+                    continue
+                biclique = index.biclique(node.biclique_id)
+                assert biclique.is_valid_in(paper_graph)
+                assert biclique.contains(side, v)
+                assert biclique.satisfies(node.tau_u, node.tau_l)
+
+
+def test_tree_children_follow_lemma4(paper_graph):
+    index = build_index_star(paper_graph)
+    for side in Side:
+        for tree in index.trees[side]:
+            for node in tree.walk():
+                if node.biclique_id is None:
+                    assert node.left is None and node.right is None
+                    continue
+                biclique = index.biclique(node.biclique_id)
+                num_u, num_l = biclique.shape
+                if node.left is not None:
+                    child = tree.nodes[node.left]
+                    assert child.tau_u == num_u + 1
+                    assert child.tau_l == node.tau_l
+                if node.right is not None:
+                    child = tree.nodes[node.right]
+                    assert child.tau_u == node.tau_u
+                    assert child.tau_l == num_l + 1
+
+
+def test_tree_node_count_bound(paper_graph):
+    """Lemma 5: |T_q| = O(deg(q)) — check the explicit 4*deg+1 form."""
+    index = build_index_star(paper_graph)
+    for side in Side:
+        for v, tree in enumerate(index.trees[side]):
+            deg = paper_graph.degree(side, v)
+            assert len(tree) <= 4 * deg + 1
+
+
+def test_save_load_roundtrip(paper_graph, tmp_path):
+    index = build_index_star(paper_graph)
+    path = tmp_path / "index.json"
+    index.save(path)
+    loaded = PMBCIndex.load(path)
+    assert loaded.num_upper == index.num_upper
+    assert loaded.num_lower == index.num_lower
+    assert loaded.num_bicliques == index.num_bicliques
+    assert loaded.num_tree_nodes == index.num_tree_nodes
+    # Queries on the loaded index must match the original.
+    for side in Side:
+        for q in range(paper_graph.num_vertices_on(side)):
+            for tau_u in (1, 2, 4):
+                for tau_l in (1, 3):
+                    a = pmbc_index_query(index, side, q, tau_u, tau_l)
+                    b = pmbc_index_query(loaded, side, q, tau_u, tau_l)
+                    if a is None:
+                        assert b is None
+                    else:
+                        assert b is not None
+                        assert a.num_edges == b.num_edges
+
+
+def test_paper_root_bicliques(paper_graph):
+    """The root of T_q stores C^q_{1,1}."""
+    index = build_index_star(paper_graph)
+
+    def u(name):
+        return paper_graph.vertex_by_label(Side.UPPER, name)
+
+    tree = index.tree(Side.UPPER, u("u1"))
+    root_biclique = index.biclique(tree.root.biclique_id)
+    assert root_biclique.shape == (4, 3)
+    tree = index.tree(Side.UPPER, u("u7"))
+    root_biclique = index.biclique(tree.root.biclique_id)
+    assert root_biclique.shape == (3, 3)

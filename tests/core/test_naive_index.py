@@ -1,0 +1,68 @@
+"""Unit tests for the basic (naive) index baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_naive_index, pmbc_index_query, build_index_star
+from repro.core.naive_index import NaiveIndexTimeout
+from repro.graph.bipartite import Side
+from repro.graph.generators import random_bipartite
+from repro.mbc.oracle import personalized_max_brute
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_naive_index_matches_oracle(seed):
+    graph = random_bipartite(7, 7, 0.45, seed=seed)
+    naive = build_naive_index(graph)
+    for side in Side:
+        for q in range(graph.num_vertices_on(side)):
+            if graph.degree(side, q) == 0:
+                continue
+            for tau_u in range(1, 5):
+                for tau_l in range(1, 5):
+                    got = naive.query(side, q, tau_u, tau_l)
+                    expected = personalized_max_brute(
+                        graph, side, q, tau_u, tau_l
+                    )
+                    got_size = got.num_edges if got else 0
+                    exp_size = (
+                        len(expected[0]) * len(expected[1])
+                        if expected
+                        else 0
+                    )
+                    assert got_size == exp_size, (side, q, tau_u, tau_l)
+
+
+def test_naive_matches_pmbc_index(paper_graph):
+    naive = build_naive_index(paper_graph)
+    index = build_index_star(paper_graph)
+    for side in Side:
+        for q in range(paper_graph.num_vertices_on(side)):
+            for tau_u in range(1, 7):
+                for tau_l in range(1, 6):
+                    a = naive.query(side, q, tau_u, tau_l)
+                    b = pmbc_index_query(index, side, q, tau_u, tau_l)
+                    assert (a.num_edges if a else 0) == (
+                        b.num_edges if b else 0
+                    )
+
+
+def test_naive_query_validation(paper_graph):
+    naive = build_naive_index(paper_graph)
+    with pytest.raises(ValueError):
+        naive.query(Side.UPPER, 0, 0, 1)
+
+
+def test_time_budget_triggers(medium_planted_graph):
+    with pytest.raises(NaiveIndexTimeout):
+        build_naive_index(medium_planted_graph, time_budget=0.0)
+
+
+def test_naive_size_accounting(paper_graph):
+    naive = build_naive_index(paper_graph)
+    assert naive.size_bytes() > 0
+    # The naive index stores at least as many bicliques as the
+    # PMBC-Index (it has no tighter structure to avoid them).
+    index = build_index_star(paper_graph)
+    assert len(naive.array) >= index.num_bicliques

@@ -1,0 +1,130 @@
+"""Unit tests for PMBC-OL and PMBC-OL* (the online query algorithms)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.online import pmbc_online, pmbc_online_star
+from repro.core.result import Biclique
+from repro.corenum.bounds import compute_bounds
+from repro.graph.bipartite import Side
+from repro.graph.generators import random_bipartite, star
+from repro.mbc.oracle import personalized_max_brute
+
+
+def u_id(graph, name):
+    return graph.vertex_by_label(Side.UPPER, name)
+
+
+def v_id(graph, name):
+    return graph.vertex_by_label(Side.LOWER, name)
+
+
+def test_paper_example_queries(paper_graph):
+    cases = [
+        ("u1", 1, 1, (4, 3)),
+        ("u1", 5, 1, (5, 2)),
+        ("u1", 1, 4, (2, 4)),
+        ("u7", 1, 1, (3, 3)),
+    ]
+    for name, tau_u, tau_l, shape in cases:
+        result = pmbc_online(paper_graph, Side.UPPER, u_id(paper_graph, name), tau_u, tau_l)
+        assert result is not None
+        assert result.shape == shape
+        assert result.contains(Side.UPPER, u_id(paper_graph, name))
+        assert result.is_valid_in(paper_graph)
+
+
+def test_infeasible_query_returns_none(paper_graph):
+    assert pmbc_online(paper_graph, Side.UPPER, 0, 6, 1) is None
+    assert pmbc_online(paper_graph, Side.UPPER, 0, 1, 5) is None
+
+
+def test_lower_side_queries(paper_graph):
+    result = pmbc_online(paper_graph, Side.LOWER, v_id(paper_graph, "v5"), 1, 1)
+    assert result is not None
+    assert result.contains(Side.LOWER, v_id(paper_graph, "v5"))
+    assert result.shape == (3, 3)
+
+
+def test_invalid_arguments(paper_graph):
+    with pytest.raises(ValueError):
+        pmbc_online(paper_graph, Side.UPPER, 99, 1, 1)
+    with pytest.raises(ValueError):
+        pmbc_online(paper_graph, Side.UPPER, 0, 0, 1)
+    with pytest.raises(ValueError):
+        pmbc_online(paper_graph, Side.UPPER, 0, 1, 0)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_online_matches_oracle(seed):
+    graph = random_bipartite(7, 7, 0.45, seed=seed)
+    for side in Side:
+        for q in range(graph.num_vertices_on(side)):
+            if graph.degree(side, q) == 0:
+                continue
+            for tau_u, tau_l in ((1, 1), (2, 2), (3, 2), (2, 3)):
+                got = pmbc_online(graph, side, q, tau_u, tau_l)
+                expected = personalized_max_brute(graph, side, q, tau_u, tau_l)
+                got_size = got.num_edges if got else 0
+                exp_size = (
+                    len(expected[0]) * len(expected[1]) if expected else 0
+                )
+                assert got_size == exp_size, (side, q, tau_u, tau_l)
+                if got:
+                    assert got.is_valid_in(graph)
+                    assert got.contains(side, q)
+                    assert got.satisfies(tau_u, tau_l)
+
+
+@pytest.mark.parametrize("seed", [10, 11, 12])
+def test_star_matches_plain(seed):
+    graph = random_bipartite(8, 8, 0.4, seed=seed)
+    bounds = compute_bounds(graph)
+    for side in Side:
+        for q in range(graph.num_vertices_on(side)):
+            if graph.degree(side, q) == 0:
+                continue
+            for tau_u, tau_l in ((1, 1), (2, 2)):
+                plain = pmbc_online(graph, side, q, tau_u, tau_l)
+                fast = pmbc_online_star(
+                    graph, side, q, tau_u, tau_l, bounds=bounds
+                )
+                plain_size = plain.num_edges if plain else 0
+                fast_size = fast.num_edges if fast else 0
+                assert plain_size == fast_size
+
+
+def test_star_computes_bounds_on_demand(paper_graph):
+    result = pmbc_online_star(paper_graph, Side.UPPER, 0, 1, 1)
+    assert result is not None
+    assert result.shape == (4, 3)
+
+
+def test_seed_lower_bound_is_respected(paper_graph):
+    """A provided optimal seed must be returned unchanged."""
+    q = u_id(paper_graph, "u1")
+    optimal = pmbc_online(paper_graph, Side.UPPER, q, 1, 1)
+    again = pmbc_online(paper_graph, Side.UPPER, q, 1, 1, seed=optimal)
+    assert again.num_edges == optimal.num_edges
+
+
+def test_invalid_seed_is_ignored(paper_graph):
+    """A seed violating the constraints must not corrupt the answer."""
+    q = u_id(paper_graph, "u1")
+    tiny = Biclique(
+        upper=frozenset({q}), lower=frozenset({v_id(paper_graph, "v1")})
+    )
+    result = pmbc_online(paper_graph, Side.UPPER, q, 2, 2, seed=tiny)
+    assert result is not None
+    assert result.shape == (4, 3)
+
+
+def test_star_query_on_a_star_graph():
+    graph = star(5)
+    result = pmbc_online(graph, Side.UPPER, 0, 1, 5)
+    assert result is not None
+    assert result.shape == (1, 5)
+    leaf = pmbc_online(graph, Side.LOWER, 0, 1, 2)
+    assert leaf is not None and leaf.shape == (1, 5)
+    assert pmbc_online(graph, Side.LOWER, 0, 2, 1) is None

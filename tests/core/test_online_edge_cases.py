@@ -1,0 +1,88 @@
+"""Targeted edge-case tests for branches the main suites do not reach."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Biclique, pmbc_online
+from repro.core.online import _seed_to_local
+from repro.corenum.bounds import compute_bounds
+from repro.graph.bipartite import BipartiteGraph, Side
+from repro.graph.generators import paper_example_graph
+from repro.graph.subgraph import two_hop_subgraph
+from repro.mbc.progressive import SearchOptions, maximum_biclique_local
+
+
+def test_seed_outside_two_hop_subgraph_is_ignored(paper_graph):
+    """A (bogus) seed naming vertices outside H_q must be dropped, not
+    crash or corrupt the answer."""
+    q = paper_graph.vertex_by_label(Side.UPPER, "u7")
+    u1 = paper_graph.vertex_by_label(Side.UPPER, "u1")
+    v1 = paper_graph.vertex_by_label(Side.LOWER, "v1")
+    # u1/v1 are not inside H_{u7} (u7's products are v4..v6).
+    outside = Biclique(upper=frozenset({u1}), lower=frozenset({v1}))
+    local = two_hop_subgraph(paper_graph, Side.UPPER, q)
+    assert _seed_to_local(local, outside, Side.UPPER) is None
+    result = pmbc_online(paper_graph, Side.UPPER, q, 1, 1, seed=outside)
+    assert result.shape == (3, 3)
+
+
+def test_isolated_query_vertex_returns_none():
+    graph = BipartiteGraph([[0], []], num_lower=1)
+    assert pmbc_online(graph, Side.UPPER, 1, 1, 1) is None
+
+
+def test_z_prune_stops_anchored_search(paper_graph):
+    """When the anchor's z bound cannot beat the seed, the search skips
+    every round and returns the seed."""
+    bounds = compute_bounds(paper_graph)
+    q = paper_graph.vertex_by_label(Side.UPPER, "u6")  # z is small
+    local = two_hop_subgraph(paper_graph, Side.UPPER, q)
+    # Feed a fake "seed" with size equal to z_q: nothing can beat it.
+    z_q = bounds.z_bound(Side.UPPER, q)
+    u7 = paper_graph.vertex_by_label(Side.UPPER, "u7")
+    seed_local_upper = frozenset(
+        i
+        for i, g in enumerate(local.upper_globals)
+        if g in (q, u7, paper_graph.vertex_by_label(Side.UPPER, "u5"))
+    )
+    seed_local_lower = frozenset(range(local.num_lower))
+    seed = (seed_local_upper, seed_local_lower)
+    assert len(seed_local_upper) * len(seed_local_lower) == z_q == 9
+    result = maximum_biclique_local(
+        local, 1, 1, seed=seed, options=SearchOptions(bounds=bounds)
+    )
+    assert result == seed
+
+
+def test_two_hop_subgraph_of_degree_zero_vertex():
+    graph = BipartiteGraph([[0], []], num_lower=1)
+    local = two_hop_subgraph(graph, Side.UPPER, 1)
+    assert local.num_lower == 0
+    assert local.num_upper == 1  # just q itself
+
+
+def test_degree_sequence_decrement_path():
+    """_capped_zipf_degrees must shrink an over-provisioned sequence."""
+    import random
+
+    from repro.graph.generators import _capped_zipf_degrees
+
+    rng = random.Random(0)
+    # n vertices with min degree 1 forces total >= n > m_target.
+    degrees = _capped_zipf_degrees(10, 5, exponent=1.0, cap=3, rng=rng)
+    assert len(degrees) == 10
+    assert all(d >= 1 for d in degrees)
+    # Cannot go below n (every vertex keeps >= 1).
+    assert sum(degrees) == 10
+
+
+def test_cli_bench_missing_script(monkeypatch, capsys):
+    from repro import cli
+
+    monkeypatch.setattr(
+        cli, "__file__", "/nonexistent/site-packages/repro/cli.py"
+    )
+    code = cli.main(["bench", "--quick"])
+    assert code == 2
+    assert "not found" in capsys.readouterr().err

@@ -1,0 +1,86 @@
+"""Unit tests for parallel construction and the Fig 8 schedule model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    build_index_parallel,
+    build_index_star,
+    measure_task_costs,
+    pmbc_index_query,
+    simulate_parallel_schedule,
+)
+from repro.graph.bipartite import Side
+from repro.graph.generators import random_bipartite
+
+
+@pytest.mark.parametrize("num_threads", [1, 2, 4])
+def test_parallel_build_matches_sequential(num_threads):
+    graph = random_bipartite(10, 10, 0.4, seed=7)
+    sequential = build_index_star(graph)
+    parallel = build_index_parallel(graph, num_threads=num_threads)
+    assert parallel.num_tree_nodes == sequential.num_tree_nodes
+    for side in Side:
+        for q in range(graph.num_vertices_on(side)):
+            for tau_u, tau_l in ((1, 1), (2, 2), (3, 1), (1, 3)):
+                a = pmbc_index_query(sequential, side, q, tau_u, tau_l)
+                b = pmbc_index_query(parallel, side, q, tau_u, tau_l)
+                assert (a.num_edges if a else 0) == (b.num_edges if b else 0)
+
+
+def test_parallel_without_skyline(medium_planted_graph):
+    parallel = build_index_parallel(
+        medium_planted_graph, num_threads=3, use_skyline=False
+    )
+    sequential = build_index_star(medium_planted_graph)
+    for q in range(0, medium_planted_graph.num_upper, 9):
+        a = pmbc_index_query(parallel, Side.UPPER, q, 2, 2)
+        b = pmbc_index_query(sequential, Side.UPPER, q, 2, 2)
+        assert (a.num_edges if a else 0) == (b.num_edges if b else 0)
+
+
+def test_parallel_validates_thread_count(paper_graph):
+    with pytest.raises(ValueError):
+        build_index_parallel(paper_graph, num_threads=0)
+
+
+def test_schedule_simulation_basics():
+    result = simulate_parallel_schedule([1.0, 1.0, 1.0, 1.0], 2)
+    assert result.makespan == pytest.approx(2.0)
+    assert result.speedup == pytest.approx(2.0)
+    assert result.total_work == pytest.approx(4.0)
+
+
+def test_schedule_simulation_skewed_tasks():
+    # One dominating task bounds the makespan from below.
+    result = simulate_parallel_schedule([10.0, 1.0, 1.0, 1.0], 4)
+    assert result.makespan == pytest.approx(10.0)
+    assert result.speedup == pytest.approx(13.0 / 10.0)
+
+
+def test_schedule_monotone_in_workers():
+    costs = [0.5, 0.2, 0.9, 0.1, 0.4, 0.7, 0.3] * 10
+    previous = None
+    for workers in (1, 2, 4, 8, 16):
+        result = simulate_parallel_schedule(costs, workers)
+        if previous is not None:
+            assert result.makespan <= previous + 1e-12
+        previous = result.makespan
+    one = simulate_parallel_schedule(costs, 1)
+    assert one.makespan == pytest.approx(sum(costs))
+
+
+def test_schedule_edge_cases():
+    empty = simulate_parallel_schedule([], 4)
+    assert empty.makespan == 0.0
+    assert empty.speedup == 4.0
+    with pytest.raises(ValueError):
+        simulate_parallel_schedule([1.0], 0)
+
+
+def test_measure_task_costs(paper_graph):
+    index, costs = measure_task_costs(paper_graph)
+    assert len(costs) == paper_graph.num_vertices
+    assert all(cost >= 0 for cost in costs)
+    assert index.num_bicliques > 0

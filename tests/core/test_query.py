@@ -1,0 +1,89 @@
+"""Unit tests for PMBC-IQ (Algorithm 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_index, build_index_star, pmbc_index_query
+from repro.graph.bipartite import Side
+from repro.graph.generators import random_bipartite
+from repro.mbc.oracle import personalized_max_brute
+
+
+def test_paper_example_walkthrough(paper_graph):
+    """Example 3: query (u1, 2, 4) descends to the (1,4) child."""
+    index = build_index_star(paper_graph)
+    q = paper_graph.vertex_by_label(Side.UPPER, "u1")
+    result = pmbc_index_query(index, Side.UPPER, q, 2, 4)
+    assert result is not None
+    assert result.shape == (2, 4)
+
+
+def test_infeasible_query_returns_none(paper_graph):
+    index = build_index_star(paper_graph)
+    q = paper_graph.vertex_by_label(Side.UPPER, "u1")
+    assert pmbc_index_query(index, Side.UPPER, q, 6, 1) is None
+    assert pmbc_index_query(index, Side.UPPER, q, 1, 5) is None
+
+
+def test_invalid_arguments(paper_graph):
+    index = build_index_star(paper_graph)
+    with pytest.raises(ValueError):
+        pmbc_index_query(index, Side.UPPER, 0, 0, 1)
+    with pytest.raises(ValueError):
+        pmbc_index_query(index, Side.UPPER, 99, 1, 1)
+
+
+@pytest.mark.parametrize("builder", [build_index, build_index_star])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_index_query_matches_oracle(builder, seed):
+    graph = random_bipartite(7, 7, 0.45, seed=seed)
+    index = builder(graph)
+    for side in Side:
+        for q in range(graph.num_vertices_on(side)):
+            if graph.degree(side, q) == 0:
+                continue
+            for tau_u in range(1, 5):
+                for tau_l in range(1, 5):
+                    got = pmbc_index_query(index, side, q, tau_u, tau_l)
+                    expected = personalized_max_brute(
+                        graph, side, q, tau_u, tau_l
+                    )
+                    got_size = got.num_edges if got else 0
+                    exp_size = (
+                        len(expected[0]) * len(expected[1])
+                        if expected
+                        else 0
+                    )
+                    assert got_size == exp_size, (side, q, tau_u, tau_l)
+                    if got:
+                        assert got.contains(side, q)
+                        assert got.satisfies(tau_u, tau_l)
+                        assert got.is_valid_in(graph)
+
+
+def test_monotonicity_along_constraints(paper_graph):
+    """Lemma 2 at query level: tighter constraints never grow the answer."""
+    index = build_index_star(paper_graph)
+    for side in Side:
+        for q in range(paper_graph.num_vertices_on(side)):
+            previous = None
+            for tau in range(1, 6):
+                result = pmbc_index_query(index, side, q, tau, 1)
+                size = result.num_edges if result else 0
+                if previous is not None:
+                    assert size <= previous
+                previous = size
+
+
+def test_query_on_isolated_vertex_tree():
+    """A vertex that lost all edges has an empty tree and returns None."""
+    from repro.core.index import BicliqueArray, PMBCIndex, SearchTree
+
+    index = PMBCIndex(
+        num_upper=1,
+        num_lower=1,
+        trees={Side.UPPER: [SearchTree()], Side.LOWER: [SearchTree()]},
+        array=BicliqueArray(),
+    )
+    assert pmbc_index_query(index, Side.UPPER, 0, 1, 1) is None

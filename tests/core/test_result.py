@@ -1,0 +1,71 @@
+"""Unit tests for the Biclique value type."""
+
+from __future__ import annotations
+
+from repro.core.result import Biclique
+from repro.graph.bipartite import Side
+
+
+def test_shape_and_size():
+    c = Biclique(upper=frozenset({1, 2}), lower=frozenset({0, 3, 4}))
+    assert c.shape == (2, 3)
+    assert c.num_edges == 6
+    assert c.side_count(Side.UPPER) == 2
+    assert c.side_count(Side.LOWER) == 3
+
+
+def test_membership_and_constraints():
+    c = Biclique(upper=frozenset({1}), lower=frozenset({2, 3}))
+    assert c.contains(Side.UPPER, 1)
+    assert not c.contains(Side.LOWER, 1)
+    assert c.satisfies(1, 2)
+    assert not c.satisfies(2, 1)
+
+
+def test_dominates():
+    big = Biclique(upper=frozenset({1, 2}), lower=frozenset({1, 2}))
+    small = Biclique(upper=frozenset({1}), lower=frozenset({1, 2}))
+    assert big.dominates(small)
+    assert not small.dominates(big)
+    assert big.dominates(big)
+
+
+def test_signature_is_canonical():
+    c1 = Biclique(upper=frozenset({2, 1}), lower=frozenset({5, 4}))
+    c2 = Biclique(upper=frozenset({1, 2}), lower=frozenset({4, 5}))
+    assert c1.signature() == c2.signature()
+    assert c1 == c2
+    assert hash(c1) == hash(c2)
+
+
+def test_accepts_plain_sets():
+    c = Biclique(upper={1, 2}, lower={3})
+    assert isinstance(c.upper, frozenset)
+    assert c.num_edges == 2
+
+
+def test_validity_and_labels(paper_graph):
+    def u(name):
+        return paper_graph.vertex_by_label(Side.UPPER, name)
+
+    def v(name):
+        return paper_graph.vertex_by_label(Side.LOWER, name)
+
+    good = Biclique(
+        upper=frozenset({u("u1"), u("u2")}),
+        lower=frozenset({v("v1"), v("v2")}),
+    )
+    assert good.is_valid_in(paper_graph)
+    bad = Biclique(
+        upper=frozenset({u("u1"), u("u6")}),
+        lower=frozenset({v("v1")}),
+    )
+    assert not bad.is_valid_in(paper_graph)
+    upper_labels, lower_labels = good.with_labels(paper_graph)
+    assert upper_labels == {"u1", "u2"}
+    assert lower_labels == {"v1", "v2"}
+
+
+def test_repr():
+    c = Biclique(upper=frozenset({1}), lower=frozenset({2, 3}))
+    assert "1x2" in repr(c)

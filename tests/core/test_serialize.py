@@ -1,0 +1,72 @@
+"""Unit tests for the binary index format."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_index_star, pmbc_index_query
+from repro.core.serialize import (
+    IndexFormatError,
+    load_binary,
+    save_binary,
+)
+from repro.graph.bipartite import Side
+from repro.graph.generators import random_bipartite
+
+
+def test_binary_roundtrip(paper_graph, tmp_path):
+    index = build_index_star(paper_graph)
+    path = tmp_path / "index.bin"
+    written = save_binary(index, path)
+    assert written == path.stat().st_size > 0
+    loaded = load_binary(path)
+    assert loaded.num_upper == index.num_upper
+    assert loaded.num_lower == index.num_lower
+    assert loaded.num_bicliques == index.num_bicliques
+    assert loaded.num_tree_nodes == index.num_tree_nodes
+    for side in Side:
+        for q in range(paper_graph.num_vertices_on(side)):
+            for tau_u, tau_l in ((1, 1), (2, 4), (5, 1)):
+                a = pmbc_index_query(index, side, q, tau_u, tau_l)
+                b = pmbc_index_query(loaded, side, q, tau_u, tau_l)
+                if a is None:
+                    assert b is None
+                else:
+                    assert a.num_edges == b.num_edges
+
+
+def test_binary_smaller_than_json(tmp_path):
+    graph = random_bipartite(20, 20, 0.3, seed=3)
+    index = build_index_star(graph)
+    json_path = tmp_path / "index.json"
+    bin_path = tmp_path / "index.bin"
+    index.save(json_path)
+    save_binary(index, bin_path)
+    assert bin_path.stat().st_size < json_path.stat().st_size
+
+
+def test_binary_size_close_to_model(paper_graph, tmp_path):
+    """On-disk size stays within 2.5x of the Table III word model."""
+    index = build_index_star(paper_graph)
+    path = tmp_path / "index.bin"
+    written = save_binary(index, path)
+    model = index.total_size_bytes()
+    assert written <= 2.5 * model
+
+
+def test_bad_magic(tmp_path):
+    path = tmp_path / "junk.bin"
+    path.write_bytes(b"NOTANIDX" + b"\x00" * 64)
+    with pytest.raises(IndexFormatError):
+        load_binary(path)
+
+
+def test_truncated_file(paper_graph, tmp_path):
+    index = build_index_star(paper_graph)
+    path = tmp_path / "index.bin"
+    save_binary(index, path)
+    data = path.read_bytes()
+    truncated = tmp_path / "trunc.bin"
+    truncated.write_bytes(data[: len(data) // 2])
+    with pytest.raises(IndexFormatError):
+        load_binary(truncated)

@@ -1,0 +1,101 @@
+"""Unit tests for the skyline maximal biclique inverted index S."""
+
+from __future__ import annotations
+
+from repro.core import Biclique, build_index_star
+from repro.core.index import BicliqueArray
+from repro.core.skyline import SkylineIndex
+from repro.graph.bipartite import Side
+from repro.graph.generators import complete_bipartite
+
+
+def _make(graph=None):
+    graph = graph or complete_bipartite(4, 4)
+    array = BicliqueArray()
+    return graph, array, SkylineIndex(graph, array)
+
+
+def _register(array, skyline, upper, lower):
+    biclique = Biclique(upper=frozenset(upper), lower=frozenset(lower))
+    biclique_id, __ = array.add(biclique)
+    skyline.update(biclique, biclique_id)
+    return biclique
+
+
+def test_lookup_empty_returns_none():
+    __, __, skyline = _make()
+    assert skyline.lookup(Side.UPPER, 0, 1, 1) is None
+
+
+def test_lookup_respects_constraints():
+    __, array, skyline = _make()
+    _register(array, skyline, {0, 1}, {0, 1, 2})
+    assert skyline.lookup(Side.UPPER, 0, 1, 1) is not None
+    assert skyline.lookup(Side.UPPER, 0, 3, 1) is None
+    assert skyline.lookup(Side.UPPER, 0, 2, 3) is not None
+    # Vertex 3 is not a member.
+    assert skyline.lookup(Side.UPPER, 3, 1, 1) is None
+
+
+def test_lookup_returns_largest_valid():
+    __, array, skyline = _make()
+    _register(array, skyline, {0, 1, 2}, {0})  # 3 edges, shape (3,1)
+    _register(array, skyline, {0}, {0, 1})  # 2 edges, shape (1,2)
+    best = skyline.lookup(Side.UPPER, 0, 1, 1)
+    assert best.num_edges == 3
+    # With tau_l = 2 only the (1,2) qualifies.
+    best = skyline.lookup(Side.UPPER, 0, 1, 2)
+    assert best.shape == (1, 2)
+
+
+def test_dominated_shapes_are_evicted():
+    __, array, skyline = _make()
+    _register(array, skyline, {0}, {0})  # (1,1)
+    _register(array, skyline, {0, 1}, {0, 1})  # (2,2) dominates (1,1)
+    entries = skyline.entries(Side.UPPER, 0)
+    assert len(entries) == 1
+    assert array[entries[0]].shape == (2, 2)
+
+
+def test_dominating_insert_is_skipped():
+    __, array, skyline = _make()
+    _register(array, skyline, {0, 1}, {0, 1})
+    _register(array, skyline, {0}, {0})  # dominated: must not be added
+    assert len(skyline.entries(Side.UPPER, 0)) == 1
+
+
+def test_incomparable_shapes_coexist():
+    __, array, skyline = _make()
+    _register(array, skyline, {0, 1, 2}, {0})  # (3,1)
+    _register(array, skyline, {0}, {0, 1, 2})  # (1,3)
+    assert len(skyline.entries(Side.UPPER, 0)) == 2
+    assert len(skyline.entries(Side.LOWER, 0)) == 2
+
+
+def test_lemma8_bound_during_real_build(medium_planted_graph):
+    """|S[v]| <= deg(v) for every vertex (Lemma 8)."""
+    graph = medium_planted_graph
+    array = BicliqueArray()
+    skyline = SkylineIndex(graph, array)
+    from repro.core.construction import build_search_tree
+    from repro.corenum.bounds import compute_bounds
+
+    bounds = compute_bounds(graph)
+    for side in Side:
+        for q in range(graph.num_vertices_on(side)):
+            build_search_tree(graph, side, q, array, bounds, skyline)
+    for side in Side:
+        for v in range(graph.num_vertices_on(side)):
+            assert len(skyline.entries(side, v)) <= max(
+                1, graph.degree(side, v)
+            )
+
+
+def test_locking_mode_behaves_identically():
+    graph = complete_bipartite(3, 3)
+    array = BicliqueArray()
+    skyline = SkylineIndex(graph, array, locking=True)
+    biclique = Biclique(upper=frozenset({0, 1}), lower=frozenset({0}))
+    biclique_id, __ = array.add(biclique)
+    skyline.update(biclique, biclique_id)
+    assert skyline.lookup(Side.UPPER, 0, 1, 1) == biclique

@@ -1,0 +1,116 @@
+"""Unit tests for the top-k index query and the caching query engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    PMBCQueryEngine,
+    build_index_star,
+    pmbc_index_query,
+    pmbc_index_topk,
+    pmbc_online,
+)
+from repro.graph.bipartite import Side
+from repro.graph.generators import random_bipartite
+
+
+# ----------------------------------------------------------------------
+# pmbc_index_topk
+# ----------------------------------------------------------------------
+def test_topk_first_is_the_maximum(paper_graph):
+    index = build_index_star(paper_graph)
+    q = paper_graph.vertex_by_label(Side.UPPER, "u1")
+    top = pmbc_index_topk(index, Side.UPPER, q, 3)
+    best = pmbc_index_query(index, Side.UPPER, q, 1, 1)
+    assert top[0].num_edges == best.num_edges
+    # Sorted descending, all distinct, all contain q.
+    sizes = [c.num_edges for c in top]
+    assert sizes == sorted(sizes, reverse=True)
+    assert len({c.signature() for c in top}) == len(top)
+    for c in top:
+        assert c.contains(Side.UPPER, q)
+
+
+def test_topk_respects_constraints(paper_graph):
+    index = build_index_star(paper_graph)
+    q = paper_graph.vertex_by_label(Side.UPPER, "u1")
+    top = pmbc_index_topk(index, Side.UPPER, q, 10, tau_u=1, tau_l=4)
+    assert top  # the (2x4) exists
+    for c in top:
+        assert c.satisfies(1, 4)
+    none = pmbc_index_topk(index, Side.UPPER, q, 5, tau_u=6, tau_l=1)
+    assert none == []
+
+
+def test_topk_k_truncation(paper_graph):
+    index = build_index_star(paper_graph)
+    q = paper_graph.vertex_by_label(Side.UPPER, "u1")
+    everything = pmbc_index_topk(index, Side.UPPER, q, 100)
+    one = pmbc_index_topk(index, Side.UPPER, q, 1)
+    assert len(one) == 1
+    assert len(everything) >= 3  # u1 has several distinct maxima
+    assert one[0] == everything[0]
+
+
+def test_topk_validation(paper_graph):
+    index = build_index_star(paper_graph)
+    with pytest.raises(ValueError):
+        pmbc_index_topk(index, Side.UPPER, 0, 0)
+    with pytest.raises(ValueError):
+        pmbc_index_topk(index, Side.UPPER, 0, 1, tau_u=0)
+    with pytest.raises(ValueError):
+        pmbc_index_topk(index, Side.UPPER, 99, 1)
+
+
+# ----------------------------------------------------------------------
+# PMBCQueryEngine
+# ----------------------------------------------------------------------
+def test_engine_matches_online(paper_graph):
+    engine = PMBCQueryEngine(paper_graph)
+    for side in Side:
+        for q in range(paper_graph.num_vertices_on(side)):
+            for tau_u, tau_l in ((1, 1), (2, 2), (5, 1), (1, 4)):
+                got = engine.query(side, q, tau_u, tau_l)
+                expected = pmbc_online(paper_graph, side, q, tau_u, tau_l)
+                assert (got.num_edges if got else 0) == (
+                    expected.num_edges if expected else 0
+                )
+
+
+def test_engine_caches_two_hop_subgraphs(paper_graph):
+    engine = PMBCQueryEngine(paper_graph)
+    engine.query(Side.UPPER, 0, 1, 1)
+    assert engine.cache_misses == 1
+    engine.query(Side.UPPER, 0, 2, 2)
+    assert engine.cache_hits == 1
+    engine.query(Side.UPPER, 1, 1, 1)
+    assert engine.cache_misses == 2
+
+
+def test_engine_lru_eviction():
+    graph = random_bipartite(6, 6, 0.5, seed=1)
+    engine = PMBCQueryEngine(graph, cache_size=2)
+    engine.query(Side.UPPER, 0)
+    engine.query(Side.UPPER, 1)
+    engine.query(Side.UPPER, 2)  # evicts vertex 0
+    engine.query(Side.UPPER, 0)
+    assert engine.cache_misses == 4
+    assert engine.cache_hits == 0
+
+
+def test_engine_without_bounds(paper_graph):
+    engine = PMBCQueryEngine(paper_graph, use_core_bounds=False)
+    assert engine.bounds is None
+    result = engine.query(Side.UPPER, 0, 1, 1)
+    assert result.shape == (4, 3)
+
+
+def test_engine_validation(paper_graph):
+    with pytest.raises(ValueError):
+        PMBCQueryEngine(paper_graph, cache_size=0)
+    engine = PMBCQueryEngine(paper_graph)
+    with pytest.raises(ValueError):
+        engine.query(Side.UPPER, 99)
+    with pytest.raises(ValueError):
+        engine.query(Side.UPPER, 0, 0, 1)

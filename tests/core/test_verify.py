@@ -1,0 +1,100 @@
+"""Unit tests for the answer verification utility."""
+
+from __future__ import annotations
+
+from repro.core import (
+    Biclique,
+    check_personalized_answer,
+    pmbc_online,
+)
+from repro.graph.bipartite import Side
+
+
+def _ids(graph, names, side):
+    return frozenset(graph.vertex_by_label(side, n) for n in names)
+
+
+def test_correct_answer_passes(paper_graph):
+    q = paper_graph.vertex_by_label(Side.UPPER, "u1")
+    answer = pmbc_online(paper_graph, Side.UPPER, q, 1, 1)
+    check = check_personalized_answer(
+        paper_graph, Side.UPPER, q, 1, 1, answer, exact=True
+    )
+    assert check
+    assert check.reasons == ()
+
+
+def test_missing_query_vertex_detected(paper_graph):
+    q = paper_graph.vertex_by_label(Side.UPPER, "u1")
+    wrong = Biclique(
+        upper=_ids(paper_graph, ("u5", "u6", "u7"), Side.UPPER),
+        lower=_ids(paper_graph, ("v4", "v5", "v6"), Side.LOWER),
+    )
+    check = check_personalized_answer(
+        paper_graph, Side.UPPER, q, 1, 1, wrong
+    )
+    assert not check
+    assert any("not in the answer" in r for r in check.reasons)
+
+
+def test_constraint_violation_detected(paper_graph):
+    q = paper_graph.vertex_by_label(Side.UPPER, "u1")
+    small = Biclique(
+        upper=frozenset({q}),
+        lower=_ids(paper_graph, ("v1",), Side.LOWER),
+    )
+    check = check_personalized_answer(
+        paper_graph, Side.UPPER, q, 2, 2, small
+    )
+    assert not check
+    assert any("violates constraints" in r for r in check.reasons)
+
+
+def test_incomplete_subgraph_detected(paper_graph):
+    q = paper_graph.vertex_by_label(Side.UPPER, "u1")
+    broken = Biclique(
+        upper=_ids(paper_graph, ("u1", "u6"), Side.UPPER),
+        lower=_ids(paper_graph, ("v1",), Side.LOWER),
+    )
+    check = check_personalized_answer(
+        paper_graph, Side.UPPER, q, 1, 1, broken
+    )
+    assert not check
+    assert any("complete" in r for r in check.reasons)
+
+
+def test_suboptimal_answer_detected_with_exact(paper_graph):
+    q = paper_graph.vertex_by_label(Side.UPPER, "u1")
+    suboptimal = Biclique(
+        upper=_ids(paper_graph, ("u1", "u2"), Side.UPPER),
+        lower=_ids(paper_graph, ("v1", "v2"), Side.LOWER),
+    )
+    # Structurally fine...
+    assert check_personalized_answer(
+        paper_graph, Side.UPPER, q, 1, 1, suboptimal
+    )
+    # ...but not the optimum.
+    check = check_personalized_answer(
+        paper_graph, Side.UPPER, q, 1, 1, suboptimal, exact=True
+    )
+    assert not check
+    assert any("optimum" in r for r in check.reasons)
+
+
+def test_none_answer(paper_graph):
+    q = paper_graph.vertex_by_label(Side.UPPER, "u1")
+    # Infeasible constraints: None is the exact answer.
+    assert check_personalized_answer(
+        paper_graph, Side.UPPER, q, 6, 1, None, exact=True
+    )
+    # Feasible constraints: None is wrong under exact.
+    check = check_personalized_answer(
+        paper_graph, Side.UPPER, q, 1, 1, None, exact=True
+    )
+    assert not check
+    # Without exact, None is accepted with a caveat.
+    check = check_personalized_answer(
+        paper_graph, Side.UPPER, q, 1, 1, None
+    )
+    assert check
+    assert check.reasons

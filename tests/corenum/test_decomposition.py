@@ -1,0 +1,95 @@
+"""Unit tests for the full bicore decomposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corenum.decomposition import decompose
+from repro.corenum.peeling import alpha_beta_core
+from repro.graph.bipartite import Side
+from repro.graph.generators import (
+    complete_bipartite,
+    random_bipartite,
+    star,
+)
+
+
+def _check_against_peeling(graph):
+    """Every (α,β) membership reported must match direct peeling."""
+    decomposition = decompose(graph)
+    alpha_limit = graph.max_degree(Side.UPPER) + 1
+    beta_limit = graph.max_degree(Side.LOWER) + 1
+    for alpha in range(1, alpha_limit + 1):
+        for beta in range(1, beta_limit + 1):
+            upper, lower = alpha_beta_core(graph, alpha, beta)
+            for side, members in ((Side.UPPER, upper), (Side.LOWER, lower)):
+                for v in range(graph.num_vertices_on(side)):
+                    assert decomposition.in_core(side, v, alpha, beta) == (
+                        v in members
+                    ), (side, v, alpha, beta)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_decomposition_matches_peeling_random(seed):
+    graph = random_bipartite(6, 7, 0.45, seed=seed)
+    _check_against_peeling(graph)
+
+
+def test_decomposition_matches_peeling_paper(paper_graph):
+    _check_against_peeling(paper_graph)
+
+
+def test_decomposition_complete_bipartite():
+    graph = complete_bipartite(3, 5)
+    decomposition = decompose(graph)
+    assert decomposition.delta == 3
+    # Upper vertices: in (α,β)-core for α ≤ 5, β ≤ 3.
+    assert decomposition.s_a(Side.UPPER, 0, 5) == 3
+    assert decomposition.s_a(Side.UPPER, 0, 6) == 0
+    assert decomposition.s_b(Side.UPPER, 0, 3) == 5
+    assert decomposition.alpha_max(Side.UPPER, 0) == 5
+    assert decomposition.beta_max(Side.UPPER, 0) == 3
+
+
+def test_decomposition_star():
+    graph = star(4)
+    decomposition = decompose(graph)
+    assert decomposition.delta == 1
+    assert decomposition.s_a(Side.UPPER, 0, 4) == 1
+    assert decomposition.s_a(Side.UPPER, 0, 1) == 1
+    assert decomposition.s_b(Side.LOWER, 2, 1) == 4
+
+
+def test_staircases_are_monotone(skewed_graph):
+    decomposition = decompose(skewed_graph)
+    for side in Side:
+        for stairs in decomposition.alpha_stairs[side]:
+            assert all(
+                stairs[i] >= stairs[i + 1] for i in range(len(stairs) - 1)
+            )
+            assert all(value >= 1 for value in stairs)
+        for stairs in decomposition.beta_stairs[side]:
+            assert all(
+                stairs[i] >= stairs[i + 1] for i in range(len(stairs) - 1)
+            )
+
+
+def test_offsets_reject_invalid_arguments(paper_graph):
+    decomposition = decompose(paper_graph)
+    with pytest.raises(ValueError):
+        decomposition.s_a(Side.UPPER, 0, 0)
+    with pytest.raises(ValueError):
+        decomposition.s_b(Side.LOWER, 0, -1)
+
+
+def test_staircase_inversion_consistency(skewed_graph):
+    """alpha- and beta-indexed staircases describe the same region."""
+    decomposition = decompose(skewed_graph)
+    for side in Side:
+        for v in range(skewed_graph.num_vertices_on(side)):
+            a_max = decomposition.alpha_max(side, v)
+            for alpha in range(1, a_max + 1):
+                beta = decomposition.s_a(side, v, alpha)
+                assert beta >= 1
+                # The beta-indexed staircase must admit (alpha, beta).
+                assert decomposition.s_b(side, v, beta) >= alpha

@@ -1,0 +1,79 @@
+"""Unit tests for (α,β)-core peeling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corenum.peeling import alpha_beta_core, max_delta
+from repro.graph.bipartite import BipartiteGraph, Side
+from repro.graph.generators import complete_bipartite, star
+
+
+def test_core_degree_conditions_hold(medium_planted_graph):
+    graph = medium_planted_graph
+    for alpha, beta in ((1, 1), (2, 2), (3, 2), (2, 4)):
+        upper, lower = alpha_beta_core(graph, alpha, beta)
+        for u in upper:
+            inside = sum(1 for v in graph.neighbors(Side.UPPER, u) if v in lower)
+            assert inside >= alpha
+        for v in lower:
+            inside = sum(1 for u in graph.neighbors(Side.LOWER, v) if u in upper)
+            assert inside >= beta
+
+
+def test_core_monotonicity(medium_planted_graph):
+    graph = medium_planted_graph
+    u1, l1 = alpha_beta_core(graph, 2, 2)
+    u2, l2 = alpha_beta_core(graph, 3, 2)
+    u3, l3 = alpha_beta_core(graph, 2, 3)
+    assert u2 <= u1 and l2 <= l1
+    assert u3 <= u1 and l3 <= l1
+
+
+def test_core_of_complete_bipartite():
+    graph = complete_bipartite(3, 4)
+    upper, lower = alpha_beta_core(graph, 4, 3)
+    assert upper == {0, 1, 2}
+    assert lower == {0, 1, 2, 3}
+    upper, lower = alpha_beta_core(graph, 5, 3)
+    assert upper == set() and lower == set()
+
+
+def test_core_of_star():
+    graph = star(4)
+    upper, lower = alpha_beta_core(graph, 1, 1)
+    assert upper == {0}
+    assert len(lower) == 4
+    upper, lower = alpha_beta_core(graph, 2, 2)
+    assert upper == set() and lower == set()
+
+
+def test_one_one_core_drops_nothing_without_isolated(paper_graph):
+    upper, lower = alpha_beta_core(paper_graph, 1, 1)
+    assert len(upper) == paper_graph.num_upper
+    assert len(lower) == paper_graph.num_lower
+
+
+def test_invalid_parameters(paper_graph):
+    with pytest.raises(ValueError):
+        alpha_beta_core(paper_graph, 0, 1)
+    with pytest.raises(ValueError):
+        alpha_beta_core(paper_graph, 1, -1)
+
+
+def test_max_delta_complete():
+    assert max_delta(complete_bipartite(4, 4)) == 4
+    assert max_delta(complete_bipartite(2, 7)) == 2
+    assert max_delta(star(9)) == 1
+
+
+def test_max_delta_empty():
+    assert max_delta(BipartiteGraph([], num_lower=0)) == 0
+
+
+def test_max_delta_matches_definition(paper_graph):
+    delta = max_delta(paper_graph)
+    upper, __ = alpha_beta_core(paper_graph, delta, delta)
+    assert upper
+    upper, __ = alpha_beta_core(paper_graph, delta + 1, delta + 1)
+    assert not upper

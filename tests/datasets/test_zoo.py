@@ -1,0 +1,80 @@
+"""Unit tests for the dataset zoo."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.zoo import (
+    ZOO,
+    dataset_names,
+    load_dataset,
+    scalability_dataset_names,
+    spec,
+)
+from repro.graph.bipartite import Side
+
+
+def test_ten_datasets_in_paper_order():
+    names = dataset_names()
+    assert len(names) == 10
+    assert names[0] == "Writers"
+    assert names[-1] == "DBLP"
+    # Table II orders by |E| ascending; target sizes must as well.
+    targets = [ZOO[name].num_edges for name in names]
+    assert targets == sorted(targets)
+    paper = [ZOO[name].paper_edges for name in names]
+    assert paper == sorted(paper)
+
+
+def test_scalability_subset():
+    subset = scalability_dataset_names()
+    assert subset == ["ActorMovies", "Wikipedia", "Amazon", "DBLP"]
+    assert all(name in ZOO for name in subset)
+
+
+def test_spec_lookup():
+    dataset = spec("Teams")
+    assert dataset.category == "Affiliation"
+    assert dataset.paper_edges == 1_366_466
+    with pytest.raises(KeyError):
+        spec("NotADataset")
+
+
+def test_layer_ratio_preserved():
+    """Analogue |U|/|L| stays within 2x of the paper's ratio."""
+    for dataset in ZOO.values():
+        paper_ratio = dataset.paper_upper / dataset.paper_lower
+        ours = dataset.num_upper / dataset.num_lower
+        assert paper_ratio / 2 <= ours <= paper_ratio * 2, dataset.name
+
+
+@pytest.mark.parametrize("name", ["Writers", "Teams", "DBLP"])
+def test_load_dataset_properties(name):
+    graph = load_dataset(name)
+    assert graph.num_edges > 0
+    assert graph.degree_one_free()
+    # Deterministic and cached.
+    assert load_dataset(name) is graph
+
+
+def test_generated_size_near_target():
+    for name in ("Writers", "YouTube"):
+        dataset = spec(name)
+        graph = load_dataset(name)
+        # Planted blocks add edges, duplicate draws remove some; stay
+        # within a broad band of the target.
+        assert 0.5 * dataset.num_edges <= graph.num_edges <= 1.6 * dataset.num_edges
+
+
+def test_graphs_have_nontrivial_bicliques():
+    """Planted blocks must leave a biclique of >= 9 edges somewhere."""
+    from repro.core import pmbc_online_star
+    from repro.bench.workloads import top_degree_queries
+
+    graph = load_dataset("Writers")
+    best = 0
+    for side, q in top_degree_queries(graph, num_queries=5, seed=1):
+        result = pmbc_online_star(graph, side, q, 2, 2)
+        if result:
+            best = max(best, result.num_edges)
+    assert best >= 9

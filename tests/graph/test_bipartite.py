@@ -1,0 +1,156 @@
+"""Unit tests for the BipartiteGraph data structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.bipartite import BipartiteGraph, Side, Vertex
+
+
+def test_empty_graph():
+    graph = BipartiteGraph([], num_lower=0)
+    assert graph.num_upper == 0
+    assert graph.num_lower == 0
+    assert graph.num_vertices == 0
+    assert graph.num_edges == 0
+    assert list(graph.edges()) == []
+    assert graph.max_degree(Side.UPPER) == 0
+    assert graph.degree_one_free()
+
+
+def test_basic_adjacency():
+    graph = BipartiteGraph([[0, 1], [1, 2], [2]], num_lower=3)
+    assert graph.num_upper == 3
+    assert graph.num_lower == 3
+    assert graph.num_edges == 5
+    assert graph.neighbors(Side.UPPER, 0) == (0, 1)
+    assert graph.neighbors(Side.LOWER, 1) == (0, 1)
+    assert graph.neighbors(Side.LOWER, 2) == (1, 2)
+    assert graph.degree(Side.UPPER, 1) == 2
+    assert graph.degree(Side.LOWER, 0) == 1
+
+
+def test_duplicate_neighbors_collapse():
+    graph = BipartiteGraph([[0, 0, 1, 1, 1]], num_lower=2)
+    assert graph.num_edges == 2
+    assert graph.neighbors(Side.UPPER, 0) == (0, 1)
+
+
+def test_neighbors_are_sorted():
+    graph = BipartiteGraph([[3, 1, 2, 0]], num_lower=4)
+    assert graph.neighbors(Side.UPPER, 0) == (0, 1, 2, 3)
+
+
+def test_out_of_range_neighbor_rejected():
+    with pytest.raises(ValueError):
+        BipartiteGraph([[5]], num_lower=3)
+    with pytest.raises(ValueError):
+        BipartiteGraph([[-1]], num_lower=3)
+
+
+def test_num_lower_inferred():
+    graph = BipartiteGraph([[0, 4]])
+    assert graph.num_lower == 5
+    assert graph.degree(Side.LOWER, 3) == 0
+
+
+def test_has_edge_both_directions():
+    graph = BipartiteGraph([[0, 1], [1]], num_lower=2)
+    assert graph.has_edge(0, 0)
+    assert graph.has_edge(0, 1)
+    assert graph.has_edge(1, 1)
+    assert not graph.has_edge(1, 0)
+
+
+def test_neighbor_set_is_cached_and_consistent():
+    graph = BipartiteGraph([[0, 2], [1]], num_lower=3)
+    first = graph.neighbor_set(Side.UPPER, 0)
+    assert first == frozenset({0, 2})
+    assert graph.neighbor_set(Side.UPPER, 0) is first
+
+
+def test_edges_iteration_matches_adjacency():
+    graph = BipartiteGraph([[0, 1], [], [2]], num_lower=3)
+    assert sorted(graph.edges()) == [(0, 0), (0, 1), (2, 2)]
+
+
+def test_vertices_iteration():
+    graph = BipartiteGraph([[0]], num_lower=2)
+    verts = list(graph.vertices())
+    assert verts == [
+        Vertex(Side.UPPER, 0),
+        Vertex(Side.LOWER, 0),
+        Vertex(Side.LOWER, 1),
+    ]
+
+
+def test_max_degree_and_degrees():
+    graph = BipartiteGraph([[0, 1, 2], [0]], num_lower=3)
+    assert graph.max_degree(Side.UPPER) == 3
+    assert graph.max_degree(Side.LOWER) == 2
+    assert graph.degrees(Side.UPPER) == [3, 1]
+    assert graph.degrees(Side.LOWER) == [2, 1, 1]
+
+
+def test_labels_roundtrip():
+    graph = BipartiteGraph(
+        [[0], [1]],
+        num_lower=2,
+        upper_labels=["alice", "bob"],
+        lower_labels=["x", "y"],
+    )
+    assert graph.label(Side.UPPER, 0) == "alice"
+    assert graph.label(Side.LOWER, 1) == "y"
+    assert graph.vertex_by_label(Side.UPPER, "bob") == 1
+    assert graph.vertex_by_label(Side.LOWER, "x") == 0
+    with pytest.raises(KeyError):
+        graph.vertex_by_label(Side.UPPER, "carol")
+
+
+def test_unlabeled_vertex_by_label_accepts_ids():
+    graph = BipartiteGraph([[0]], num_lower=1)
+    assert graph.vertex_by_label(Side.UPPER, 0) == 0
+    with pytest.raises(KeyError):
+        graph.vertex_by_label(Side.UPPER, 3)
+
+
+def test_label_length_validation():
+    with pytest.raises(ValueError):
+        BipartiteGraph([[0]], num_lower=1, upper_labels=["a", "b"])
+
+
+def test_without_isolated_vertices():
+    graph = BipartiteGraph(
+        [[0], []],
+        num_lower=3,
+        upper_labels=["keep", "drop"],
+        lower_labels=["a", "b", "c"],
+    )
+    cleaned = graph.without_isolated_vertices()
+    assert cleaned.num_upper == 1
+    assert cleaned.num_lower == 1
+    assert cleaned.label(Side.UPPER, 0) == "keep"
+    assert cleaned.label(Side.LOWER, 0) == "a"
+    assert cleaned.degree_one_free()
+
+
+def test_side_other():
+    assert Side.UPPER.other is Side.LOWER
+    assert Side.LOWER.other is Side.UPPER
+
+
+def test_equality_and_repr():
+    g1 = BipartiteGraph([[0]], num_lower=1)
+    g2 = BipartiteGraph([[0]], num_lower=1)
+    g3 = BipartiteGraph([[0], [0]], num_lower=1)
+    assert g1 == g2
+    assert g1 != g3
+    assert "BipartiteGraph" in repr(g1)
+
+
+def test_paper_graph_shape(paper_graph):
+    assert paper_graph.num_upper == 7
+    assert paper_graph.num_lower == 6
+    assert paper_graph.num_edges == 25
+    u1 = paper_graph.vertex_by_label(Side.UPPER, "u1")
+    assert paper_graph.degree(Side.UPPER, u1) == 4

@@ -1,0 +1,102 @@
+"""Unit tests for graph builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.bipartite import Side
+from repro.graph.builders import (
+    from_biadjacency,
+    from_edges,
+    from_networkx,
+    to_networkx,
+)
+
+
+def test_from_edges_first_seen_order():
+    graph = from_edges([("b", "x"), ("a", "x"), ("b", "y")])
+    assert graph.num_upper == 2
+    assert graph.num_lower == 2
+    assert graph.label(Side.UPPER, 0) == "b"
+    assert graph.label(Side.UPPER, 1) == "a"
+    assert graph.num_edges == 3
+
+
+def test_from_edges_duplicate_edges_collapse():
+    graph = from_edges([("a", "x"), ("a", "x")])
+    assert graph.num_edges == 1
+
+
+def test_from_edges_with_fixed_labels():
+    graph = from_edges(
+        [("a", "x")],
+        upper_labels=["a", "b"],
+        lower_labels=["x", "y", "z"],
+    )
+    assert graph.num_upper == 2
+    assert graph.num_lower == 3
+    assert graph.degree(Side.UPPER, 1) == 0
+
+
+def test_from_edges_unknown_label_rejected():
+    with pytest.raises(KeyError):
+        from_edges([("c", "x")], upper_labels=["a", "b"])
+    with pytest.raises(KeyError):
+        from_edges([("a", "w")], lower_labels=["x"])
+
+
+def test_from_edges_duplicate_fixed_labels_rejected():
+    with pytest.raises(ValueError):
+        from_edges([], upper_labels=["a", "a"])
+
+
+def test_from_biadjacency():
+    graph = from_biadjacency([[1, 0, 1], [0, 1, 0]])
+    assert graph.num_upper == 2
+    assert graph.num_lower == 3
+    assert sorted(graph.edges()) == [(0, 0), (0, 2), (1, 1)]
+
+
+def test_from_biadjacency_numpy():
+    numpy = pytest.importorskip("numpy")
+    matrix = numpy.array([[1, 1], [0, 1]])
+    graph = from_biadjacency(matrix)
+    assert graph.num_edges == 3
+
+
+def test_to_biadjacency_roundtrip(paper_graph):
+    numpy = pytest.importorskip("numpy")
+    from repro.graph.builders import to_biadjacency
+
+    matrix = to_biadjacency(paper_graph)
+    assert matrix.shape == (paper_graph.num_upper, paper_graph.num_lower)
+    assert int(matrix.sum()) == paper_graph.num_edges
+    back = from_biadjacency(matrix)
+    assert sorted(back.edges()) == sorted(paper_graph.edges())
+
+
+def test_networkx_roundtrip(paper_graph):
+    nx_graph = to_networkx(paper_graph)
+    assert nx_graph.number_of_nodes() == paper_graph.num_vertices
+    assert nx_graph.number_of_edges() == paper_graph.num_edges
+    back = from_networkx(nx_graph)
+    assert back.num_edges == paper_graph.num_edges
+    assert back.num_upper == paper_graph.num_upper
+
+
+def test_from_networkx_rejects_same_layer_edge():
+    nx = pytest.importorskip("networkx")
+    nx_graph = nx.Graph()
+    nx_graph.add_edge("a", "b")
+    with pytest.raises(ValueError):
+        from_networkx(nx_graph, upper_nodes=["a", "b"])
+    with pytest.raises(ValueError):
+        from_networkx(nx_graph, upper_nodes=[])
+
+
+def test_from_networkx_requires_bipartite_attribute():
+    nx = pytest.importorskip("networkx")
+    nx_graph = nx.Graph()
+    nx_graph.add_edge("a", "x")
+    with pytest.raises(ValueError):
+        from_networkx(nx_graph)

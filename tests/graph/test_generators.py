@@ -1,0 +1,175 @@
+"""Unit tests for synthetic generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.bipartite import Side
+from repro.graph.generators import (
+    capped_power_law_bipartite,
+    complete_bipartite,
+    paper_example_graph,
+    planted_biclique_graph,
+    power_law_bipartite,
+    random_bipartite,
+    star,
+    with_planted_blocks,
+)
+
+
+def test_capped_power_law_respects_caps():
+    graph = capped_power_law_bipartite(
+        200, 60, 800, cap_upper=5, cap_lower=30, seed=4
+    )
+    assert max(graph.degrees(Side.UPPER)) <= 5
+    assert max(graph.degrees(Side.LOWER)) <= 30
+    assert graph.degree_one_free()
+    # Edge count close to target (stub collisions cost a little).
+    assert graph.num_edges >= 0.8 * 800
+
+
+def test_capped_power_law_determinism():
+    a = capped_power_law_bipartite(50, 50, 200, seed=9)
+    b = capped_power_law_bipartite(50, 50, 200, seed=9)
+    c = capped_power_law_bipartite(50, 50, 200, seed=10)
+    assert a == b
+    assert a != c
+
+
+def test_capped_power_law_validation():
+    with pytest.raises(ValueError):
+        capped_power_law_bipartite(0, 5, 10)
+    with pytest.raises(ValueError):
+        capped_power_law_bipartite(5, 5, 10, cap_upper=0)
+
+
+def test_with_planted_blocks_adds_biclique():
+    base = random_bipartite(20, 20, 0.05, seed=2).without_isolated_vertices()
+    planted = with_planted_blocks(base, [(4, 5)], seed=3)
+    assert planted.num_upper == base.num_upper
+    assert planted.num_lower == base.num_lower
+    assert planted.num_edges >= base.num_edges
+    # Some 4 uppers now share 5 common neighbors.
+    from repro.mbc import maximum_biclique
+
+    best = maximum_biclique(planted, 4, 5)
+    assert best is not None
+    assert best.num_edges >= 20
+
+
+def test_with_planted_blocks_validation(paper_graph):
+    with pytest.raises(ValueError):
+        with_planted_blocks(paper_graph, [(100, 2)])
+
+
+def test_random_bipartite_determinism():
+    g1 = random_bipartite(10, 12, 0.3, seed=5)
+    g2 = random_bipartite(10, 12, 0.3, seed=5)
+    g3 = random_bipartite(10, 12, 0.3, seed=6)
+    assert g1 == g2
+    assert g1 != g3
+
+
+def test_random_bipartite_extremes():
+    empty = random_bipartite(4, 4, 0.0, seed=1)
+    assert empty.num_edges == 0
+    full = random_bipartite(4, 4, 1.0, seed=1)
+    assert full.num_edges == 16
+
+
+def test_random_bipartite_validates_probability():
+    with pytest.raises(ValueError):
+        random_bipartite(2, 2, 1.5)
+
+
+def test_power_law_bipartite_shape():
+    graph = power_law_bipartite(50, 40, 200, exponent=1.5, seed=3)
+    assert graph.num_edges <= 200
+    assert graph.num_edges > 100  # collisions should not dominate
+    assert graph.degree_one_free()
+    # Determinism.
+    assert graph == power_law_bipartite(50, 40, 200, exponent=1.5, seed=3)
+
+
+def test_power_law_is_skewed():
+    graph = power_law_bipartite(200, 200, 900, exponent=1.6, seed=9)
+    degrees = sorted(graph.degrees(Side.UPPER), reverse=True)
+    # The hub should be far above the median degree.
+    assert degrees[0] >= 4 * degrees[len(degrees) // 2]
+
+
+def test_power_law_validates_layers():
+    with pytest.raises(ValueError):
+        power_law_bipartite(0, 5, 10)
+
+
+def test_planted_biclique_graph_contains_blocks():
+    graph = planted_biclique_graph(
+        30, 30, 60, planted=((5, 4),), seed=21
+    )
+    # Some 5 upper vertices must share 4 common lower neighbors.
+    found = False
+    for u in range(graph.num_upper):
+        if graph.degree(Side.UPPER, u) < 4:
+            continue
+        # Count uppers whose neighborhood includes a popular 4-subset by
+        # brute force over this small graph.
+        for v_set in _four_subsets(graph.neighbors(Side.UPPER, u)):
+            holders = [
+                w
+                for w in range(graph.num_upper)
+                if v_set <= graph.neighbor_set(Side.UPPER, w)
+            ]
+            if len(holders) >= 5:
+                found = True
+                break
+        if found:
+            break
+    assert found
+
+
+def _four_subsets(neighbors):
+    from itertools import combinations
+
+    return [frozenset(c) for c in combinations(neighbors, 4)]
+
+
+def test_planted_block_validation():
+    with pytest.raises(ValueError):
+        planted_biclique_graph(3, 3, 5, planted=((10, 2),))
+
+
+def test_complete_bipartite_and_star():
+    k = complete_bipartite(3, 4)
+    assert k.num_edges == 12
+    s = star(5)
+    assert s.num_upper == 1
+    assert s.num_lower == 5
+    assert s.degree(Side.UPPER, 0) == 5
+
+
+def test_paper_example_claims():
+    graph = paper_example_graph()
+
+    def u(name):
+        return graph.vertex_by_label(Side.UPPER, name)
+
+    def v(name):
+        return graph.vertex_by_label(Side.LOWER, name)
+
+    # {u1..u4} x {v1..v3} is a biclique.
+    for un in ("u1", "u2", "u3", "u4"):
+        for vn in ("v1", "v2", "v3"):
+            assert graph.has_edge(u(un), v(vn))
+    # {u1..u5} x {v1, v2} is a biclique.
+    for un in ("u1", "u2", "u3", "u4", "u5"):
+        for vn in ("v1", "v2"):
+            assert graph.has_edge(u(un), v(vn))
+    # {u5, u6, u7} x {v4, v5, v6} is a biclique.
+    for un in ("u5", "u6", "u7"):
+        for vn in ("v4", "v5", "v6"):
+            assert graph.has_edge(u(un), v(vn))
+    # {u1, u4} x {v1..v4} is a biclique (the (2x4) result of Example 3).
+    for un in ("u1", "u4"):
+        for vn in ("v1", "v2", "v3", "v4"):
+            assert graph.has_edge(u(un), v(vn))

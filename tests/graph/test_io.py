@@ -1,0 +1,87 @@
+"""Unit tests for KONECT / edge-list IO."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.graph.bipartite import Side
+from repro.graph.io import (
+    read_edge_list,
+    read_konect,
+    write_edge_list,
+    write_konect,
+)
+
+
+def test_read_konect_basic():
+    text = "% bip unweighted test\n% 3 2 2\n1 1\n1 2\n2 2\n"
+    graph = read_konect(io.StringIO(text))
+    assert graph.num_upper == 2
+    assert graph.num_lower == 2
+    assert graph.num_edges == 3
+
+
+def test_read_konect_ignores_weights_and_blank_lines():
+    text = "1 1 5 1111\n\n2 1 3\n"
+    graph = read_konect(io.StringIO(text))
+    assert graph.num_edges == 2
+
+
+def test_read_konect_rejects_zero_based_ids():
+    with pytest.raises(ValueError):
+        read_konect(io.StringIO("0 1\n"))
+
+
+def test_read_konect_rejects_single_column():
+    with pytest.raises(ValueError):
+        read_konect(io.StringIO("42\n"))
+
+
+def test_konect_roundtrip(paper_graph, tmp_path):
+    path = tmp_path / "out.test"
+    write_konect(paper_graph, path)
+    back = read_konect(path)
+    assert back.num_edges == paper_graph.num_edges
+    assert back.num_upper == paper_graph.num_upper
+    assert back.num_lower == paper_graph.num_lower
+    assert sorted(back.edges()) == sorted(paper_graph.edges())
+
+
+def test_edge_list_roundtrip(paper_graph, tmp_path):
+    path = tmp_path / "edges.txt"
+    write_edge_list(paper_graph, path)
+    back = read_edge_list(path)
+    assert back.num_edges == paper_graph.num_edges
+    # Labels survive the roundtrip.
+    assert back.vertex_by_label(Side.UPPER, "u1") is not None
+
+
+def test_graph_json_roundtrip(paper_graph, tmp_path):
+    from repro.graph.io import load_graph_json, save_graph_json
+
+    path = tmp_path / "graph.json"
+    save_graph_json(paper_graph, path)
+    back = load_graph_json(path)
+    assert back == paper_graph
+    assert back.label(Side.UPPER, 0) == "u1"
+
+
+def test_graph_json_roundtrip_unlabeled(tmp_path):
+    from repro.graph.bipartite import BipartiteGraph
+    from repro.graph.io import load_graph_json, save_graph_json
+
+    graph = BipartiteGraph([[0, 1], [1]], num_lower=2)
+    path = tmp_path / "g.json"
+    save_graph_json(graph, path)
+    back = load_graph_json(path)
+    assert back == graph
+    assert back.labels(Side.UPPER) is None
+
+
+def test_read_edge_list_comments_and_errors():
+    graph = read_edge_list(io.StringIO("# header\na x\nb y\n"))
+    assert graph.num_edges == 2
+    with pytest.raises(ValueError):
+        read_edge_list(io.StringIO("a x extra\n"))

@@ -1,0 +1,48 @@
+"""Unit tests for edge sampling (Fig 9 workload)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.bipartite import Side
+from repro.graph.sampling import sample_edges
+
+
+def test_full_fraction_preserves_edges(paper_graph):
+    sampled = sample_edges(paper_graph, 1.0)
+    assert sampled.num_edges == paper_graph.num_edges
+
+
+def test_sampled_edge_count(medium_planted_graph):
+    sampled = sample_edges(medium_planted_graph, 0.5, seed=1)
+    expected = round(0.5 * medium_planted_graph.num_edges)
+    assert sampled.num_edges == expected
+
+
+def test_sampled_edges_are_subset(paper_graph):
+    sampled = sample_edges(paper_graph, 0.4, seed=2)
+    original = {
+        (paper_graph.label(Side.UPPER, u), paper_graph.label(Side.LOWER, v))
+        for u, v in paper_graph.edges()
+    }
+    for u, v in sampled.edges():
+        key = (sampled.label(Side.UPPER, u), sampled.label(Side.LOWER, v))
+        assert key in original
+
+
+def test_no_isolated_vertices(medium_planted_graph):
+    sampled = sample_edges(medium_planted_graph, 0.2, seed=3)
+    assert sampled.degree_one_free()
+
+
+def test_determinism(medium_planted_graph):
+    s1 = sample_edges(medium_planted_graph, 0.3, seed=9)
+    s2 = sample_edges(medium_planted_graph, 0.3, seed=9)
+    assert s1 == s2
+
+
+def test_invalid_fraction(paper_graph):
+    with pytest.raises(ValueError):
+        sample_edges(paper_graph, 0.0)
+    with pytest.raises(ValueError):
+        sample_edges(paper_graph, 1.2)

@@ -1,0 +1,59 @@
+"""Unit tests for graph statistics."""
+
+from __future__ import annotations
+
+from repro.graph.bipartite import BipartiteGraph, Side
+from repro.graph.generators import complete_bipartite, star
+from repro.graph.stats import graph_stats, wedge_count
+
+
+def test_stats_of_complete_bipartite():
+    stats = graph_stats(complete_bipartite(3, 4))
+    assert stats.num_edges == 12
+    assert stats.upper.min_degree == stats.upper.max_degree == 4
+    assert stats.lower.mean_degree == 3
+    assert stats.upper.hub_fraction == 1.0
+    # Wedges through lowers: each lower has 3 uppers -> 3*2 = 6 each.
+    assert stats.num_wedges_upper == 4 * 6
+
+
+def test_stats_of_star():
+    stats = graph_stats(star(5))
+    assert stats.upper.max_degree == 5
+    assert stats.lower.max_degree == 1
+    assert stats.num_wedges_lower == 5 * 4  # through the center
+    assert stats.num_wedges_upper == 0
+
+
+def test_median_even_and_odd():
+    graph = BipartiteGraph([[0], [0, 1], [0, 1, 2]], num_lower=3)
+    stats = graph_stats(graph)
+    assert stats.upper.median_degree == 2  # degrees 1,2,3
+    graph = BipartiteGraph([[0], [0, 1]], num_lower=2)
+    stats = graph_stats(graph)
+    assert stats.upper.median_degree == 1.5
+
+
+def test_empty_graph():
+    stats = graph_stats(BipartiteGraph([], num_lower=0))
+    assert stats.num_edges == 0
+    assert stats.upper.num_vertices == 0
+    assert stats.upper.mean_degree == 0.0
+
+
+def test_wedge_count_matches_manual(paper_graph):
+    manual = sum(
+        d * (d - 1) for d in paper_graph.degrees(Side.LOWER)
+    )
+    assert wedge_count(paper_graph, Side.LOWER) == manual
+
+
+def test_zoo_analogues_keep_hubs_proportionate():
+    """The capped generator keeps hub fractions small — the property
+    that makes the analogues faithful to the KONECT originals."""
+    from repro.datasets.zoo import load_dataset
+
+    for name in ("Writers", "Teams", "DBLP"):
+        stats = graph_stats(load_dataset(name))
+        assert stats.upper.hub_fraction <= 0.25
+        assert stats.lower.hub_fraction <= 0.25

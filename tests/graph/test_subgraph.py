@@ -1,0 +1,120 @@
+"""Unit tests for induced / two-hop subgraphs and LocalGraph."""
+
+from __future__ import annotations
+
+from repro.graph.bipartite import Side
+from repro.graph.subgraph import induced_subgraph, two_hop_subgraph
+
+
+def u_id(graph, name):
+    return graph.vertex_by_label(Side.UPPER, name)
+
+
+def v_id(graph, name):
+    return graph.vertex_by_label(Side.LOWER, name)
+
+
+def test_induced_subgraph_basic(paper_graph):
+    ids_u = [u_id(paper_graph, n) for n in ("u1", "u2")]
+    ids_v = [v_id(paper_graph, n) for n in ("v1", "v2", "v3")]
+    sub, upper_map, lower_map = induced_subgraph(paper_graph, ids_u, ids_v)
+    assert sub.num_upper == 2
+    assert sub.num_lower == 3
+    assert sub.num_edges == 6  # u1, u2 both adjacent to v1..v3
+    assert set(upper_map) == set(ids_u)
+    assert set(lower_map) == set(ids_v)
+    assert sub.label(Side.UPPER, upper_map[ids_u[0]]) == "u1"
+
+
+def test_induced_subgraph_drops_outside_edges(paper_graph):
+    ids_u = [u_id(paper_graph, "u1")]
+    ids_v = [v_id(paper_graph, "v5")]  # u1 not adjacent to v5
+    sub, __, __ = induced_subgraph(paper_graph, ids_u, ids_v)
+    assert sub.num_edges == 0
+
+
+def test_two_hop_subgraph_of_u1(paper_graph):
+    q = u_id(paper_graph, "u1")
+    local = two_hop_subgraph(paper_graph, Side.UPPER, q)
+    # L(H_q) = N(u1) = {v1, v2, v3, v4}
+    lower_names = {
+        paper_graph.label(Side.LOWER, g) for g in local.lower_globals
+    }
+    assert lower_names == {"v1", "v2", "v3", "v4"}
+    # U(H_q) = u1 plus every vertex sharing a neighbor with u1.
+    upper_names = {
+        paper_graph.label(Side.UPPER, g) for g in local.upper_globals
+    }
+    assert upper_names == {"u1", "u2", "u3", "u4", "u5", "u6", "u7"}
+    assert local.q_local is not None
+    assert local.upper_globals[local.q_local] == q
+    assert local.upper_side is Side.UPPER
+
+
+def test_two_hop_subgraph_query_on_lower_side(paper_graph):
+    q = v_id(paper_graph, "v5")
+    local = two_hop_subgraph(paper_graph, Side.LOWER, q)
+    # q is oriented into the local upper layer.
+    assert local.upper_side is Side.LOWER
+    assert local.upper_globals[local.q_local] == q
+    # N(v5) = {u5, u6, u7}.
+    lower_names = {
+        paper_graph.label(Side.UPPER, g) for g in local.lower_globals
+    }
+    assert lower_names == {"u5", "u6", "u7"}
+
+
+def test_two_hop_adjacency_restricted(paper_graph):
+    q = u_id(paper_graph, "u1")
+    local = two_hop_subgraph(paper_graph, Side.UPPER, q)
+    # u6's neighbors within H_q must only be v4 (v5, v6 not in N(u1)).
+    u6_local = local.upper_globals.index(u_id(paper_graph, "u6"))
+    v4_local = local.lower_globals.index(v_id(paper_graph, "v4"))
+    assert local.adj_upper[u6_local] == {v4_local}
+
+
+def test_local_graph_q_adjacent_to_all_lower(paper_graph):
+    """The structural fact behind Lemma 1."""
+    for name in ("u1", "u5", "u7"):
+        q = u_id(paper_graph, name)
+        local = two_hop_subgraph(paper_graph, Side.UPPER, q)
+        assert local.adj_upper[local.q_local] == set(range(local.num_lower))
+
+
+def test_local_graph_consistency(paper_graph):
+    q = u_id(paper_graph, "u1")
+    local = two_hop_subgraph(paper_graph, Side.UPPER, q)
+    for u, neighbors in enumerate(local.adj_upper):
+        for v in neighbors:
+            assert u in local.adj_lower[v]
+    assert local.num_edges == sum(len(ns) for ns in local.adj_lower)
+
+
+def test_local_restrict(paper_graph):
+    q = u_id(paper_graph, "u1")
+    local = two_hop_subgraph(paper_graph, Side.UPPER, q)
+    keep_upper = [local.q_local]
+    keep_lower = list(range(local.num_lower))[:2]
+    small = local.restrict(keep_upper, keep_lower)
+    assert small.num_upper == 1
+    assert small.num_lower == 2
+    assert small.q_local == 0
+    assert small.adj_upper[0] == {0, 1}
+    # Dropping q clears the anchor.
+    no_q = local.restrict([], keep_lower)
+    assert no_q.q_local is None
+
+
+def test_local_to_global_and_check_biclique(paper_graph):
+    q = u_id(paper_graph, "u1")
+    local = two_hop_subgraph(paper_graph, Side.UPPER, q)
+    uppers = [local.q_local]
+    lowers = list(local.adj_upper[local.q_local])
+    assert local.check_biclique(uppers, lowers)
+    side, upper_g, lower_g = local.to_global(uppers, lowers)
+    assert side is Side.UPPER
+    assert upper_g == frozenset({q})
+    assert lower_g == frozenset(paper_graph.neighbors(Side.UPPER, q))
+    # A non-biclique is rejected.
+    u6_local = local.upper_globals.index(u_id(paper_graph, "u6"))
+    assert not local.check_biclique([local.q_local, u6_local], lowers)

@@ -1,0 +1,54 @@
+"""Unit tests for global (non-personalized) maximum biclique search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corenum.bounds import compute_bounds
+from repro.graph.bipartite import Side
+from repro.graph.generators import complete_bipartite, random_bipartite, star
+from repro.mbc import maximum_biclique, whole_graph_view
+from repro.mbc.oracle import max_biclique_brute
+
+
+def test_whole_graph_view_roundtrip(paper_graph):
+    view = whole_graph_view(paper_graph)
+    assert view.num_upper == paper_graph.num_upper
+    assert view.num_lower == paper_graph.num_lower
+    assert view.num_edges == paper_graph.num_edges
+    assert view.q_local is None
+    assert view.upper_side is Side.UPPER
+
+
+def test_maximum_biclique_paper_graph(paper_graph):
+    best = maximum_biclique(paper_graph)
+    assert best.num_edges == 12
+    assert best.shape == (4, 3)
+    constrained = maximum_biclique(paper_graph, 5, 1)
+    assert constrained.shape == (5, 2)
+    assert maximum_biclique(paper_graph, 6, 1) is None
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_matches_brute_force(seed):
+    graph = random_bipartite(7, 7, 0.5, seed=seed)
+    for tau_u, tau_l in ((1, 1), (2, 2), (3, 2)):
+        got = maximum_biclique(graph, tau_u, tau_l)
+        expected = max_biclique_brute(graph, tau_u, tau_l)
+        got_size = got.num_edges if got else 0
+        exp_size = len(expected[0]) * len(expected[1]) if expected else 0
+        assert got_size == exp_size
+
+
+def test_with_bounds_matches_plain(paper_graph):
+    bounds = compute_bounds(paper_graph)
+    plain = maximum_biclique(paper_graph, 2, 2)
+    fast = maximum_biclique(paper_graph, 2, 2, bounds=bounds)
+    assert plain.num_edges == fast.num_edges
+
+
+def test_degenerate_graphs():
+    assert maximum_biclique(complete_bipartite(3, 3)).num_edges == 9
+    s = maximum_biclique(star(4))
+    assert s.shape == (1, 4)
+    assert maximum_biclique(star(4), 2, 1) is None

@@ -1,0 +1,79 @@
+"""Unit tests for the greedy initial solution."""
+
+from __future__ import annotations
+
+from repro.graph.bipartite import Side
+from repro.graph.generators import complete_bipartite
+from repro.graph.subgraph import two_hop_subgraph
+from repro.mbc.greedy import greedy_biclique
+
+
+def _local_for(graph, side, name_to_id, name):
+    return two_hop_subgraph(graph, side, name_to_id(name))
+
+
+def test_greedy_returns_valid_biclique(paper_graph):
+    def u(name):
+        return paper_graph.vertex_by_label(Side.UPPER, name)
+
+    local = two_hop_subgraph(paper_graph, Side.UPPER, u("u1"))
+    result = greedy_biclique(local)
+    assert result is not None
+    upper, lower = result
+    assert local.check_biclique(upper, lower)
+    assert local.q_local in upper
+
+
+def test_greedy_respects_constraints(paper_graph):
+    def u(name):
+        return paper_graph.vertex_by_label(Side.UPPER, name)
+
+    local = two_hop_subgraph(paper_graph, Side.UPPER, u("u7"))
+    # u7 has degree 3 so no biclique with 4 lower vertices exists.
+    assert greedy_biclique(local, tau_p=1, tau_w=4) is None
+
+
+def test_greedy_seed_quality_on_paper_graph(paper_graph):
+    """Greedy should reach a decent fraction of the optimum (12 edges)."""
+
+    def u(name):
+        return paper_graph.vertex_by_label(Side.UPPER, name)
+
+    local = two_hop_subgraph(paper_graph, Side.UPPER, u("u1"))
+    upper, lower = greedy_biclique(local)
+    assert len(upper) * len(lower) >= 8
+
+
+def test_greedy_on_complete_bipartite_is_optimal():
+    graph = complete_bipartite(4, 5)
+    local = two_hop_subgraph(graph, Side.UPPER, 0)
+    upper, lower = greedy_biclique(local)
+    assert len(upper) * len(lower) == 20
+
+
+def test_greedy_unanchored():
+    graph = complete_bipartite(3, 3)
+    local = two_hop_subgraph(graph, Side.UPPER, 0)
+    local.q_local = None  # exercise the unanchored start
+    result = greedy_biclique(local)
+    assert result is not None
+    upper, lower = result
+    assert len(upper) * len(lower) == 9
+
+
+def test_greedy_empty_graph(paper_graph):
+    local = two_hop_subgraph(paper_graph, Side.UPPER, 0)
+    empty = local.restrict([], [])
+    assert greedy_biclique(empty) is None
+
+
+def test_greedy_anchored_on_lower_side_query(paper_graph):
+    def v(name):
+        return paper_graph.vertex_by_label(Side.LOWER, name)
+
+    local = two_hop_subgraph(paper_graph, Side.LOWER, v("v1"))
+    result = greedy_biclique(local)
+    assert result is not None
+    upper, lower = result
+    assert local.q_local in upper
+    assert local.check_biclique(upper, lower)

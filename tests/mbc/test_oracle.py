@@ -1,0 +1,83 @@
+"""Unit tests for the brute-force oracles themselves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.bipartite import Side
+from repro.graph.generators import complete_bipartite, star
+from repro.mbc.oracle import (
+    all_closed_bicliques,
+    max_biclique_brute,
+    personalized_max_brute,
+)
+
+
+def test_closed_bicliques_are_bicliques(paper_graph):
+    for upper, lower in all_closed_bicliques(paper_graph):
+        for u in upper:
+            assert lower <= paper_graph.neighbor_set(Side.UPPER, u)
+
+
+def test_closed_bicliques_complete_graph():
+    graph = complete_bipartite(2, 3)
+    pairs = all_closed_bicliques(graph)
+    # Every nonempty subset of the smaller (upper) side appears.
+    assert len(pairs) == 3  # {0}, {1}, {0,1}
+    sizes = sorted(len(u) * len(l) for u, l in pairs)
+    assert sizes == [3, 3, 6]
+
+
+def test_max_biclique_brute_basics(paper_graph):
+    result = max_biclique_brute(paper_graph, 1, 1)
+    assert result is not None
+    upper, lower = result
+    assert len(upper) * len(lower) == 12  # the 4x3 block
+    assert max_biclique_brute(paper_graph, 6, 1) is None
+
+
+def test_max_biclique_with_constraints(paper_graph):
+    upper, lower = max_biclique_brute(paper_graph, 5, 1)
+    assert (len(upper), len(lower)) == (5, 2)
+
+
+def test_personalized_brute_on_star():
+    graph = star(5)
+    result = personalized_max_brute(graph, Side.UPPER, 0, 1, 1)
+    assert result is not None
+    assert result[0] == frozenset({0})
+    assert len(result[1]) == 5
+    # Leaves share the center, so |L| >= 2 is feasible even for a leaf.
+    result = personalized_max_brute(graph, Side.LOWER, 2, 1, 2)
+    assert result == (frozenset({0}), frozenset(range(5)))
+    # But no biclique has two upper vertices.
+    assert personalized_max_brute(graph, Side.LOWER, 2, 2, 1) is None
+
+
+def test_personalized_brute_contains_query(paper_graph):
+    for q in range(paper_graph.num_upper):
+        result = personalized_max_brute(paper_graph, Side.UPPER, q, 1, 1)
+        assert result is not None
+        assert q in result[0]
+    for q in range(paper_graph.num_lower):
+        result = personalized_max_brute(paper_graph, Side.LOWER, q, 1, 1)
+        assert result is not None
+        assert q in result[1]
+
+
+def test_personalized_brute_paper_claims(paper_graph):
+    def u(name):
+        return paper_graph.vertex_by_label(Side.UPPER, name)
+
+    result = personalized_max_brute(paper_graph, Side.UPPER, u("u1"), 1, 1)
+    assert (len(result[0]), len(result[1])) == (4, 3)
+    result = personalized_max_brute(paper_graph, Side.UPPER, u("u1"), 5, 1)
+    assert (len(result[0]), len(result[1])) == (5, 2)
+    result = personalized_max_brute(paper_graph, Side.UPPER, u("u7"), 1, 1)
+    assert (len(result[0]), len(result[1])) == (3, 3)
+
+
+def test_brute_force_size_guard():
+    graph = complete_bipartite(25, 30)
+    with pytest.raises(ValueError):
+        all_closed_bicliques(graph)

@@ -1,0 +1,138 @@
+"""Unit tests for maximal biclique enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.bipartite import Side
+from repro.graph.generators import complete_bipartite, random_bipartite, star
+from repro.mbc.oracle import all_closed_bicliques, personalized_max_brute
+from repro.mbe.imbea import (
+    enumerate_maximal_bicliques,
+    maximal_biclique_count,
+    personalized_max_from_enumeration,
+)
+
+
+def _maximal_via_closures(graph):
+    """Independent maximal-biclique oracle from closed pairs."""
+    maximal = set()
+    for upper, lower in all_closed_bicliques(graph):
+        # Close on both sides: a pair is maximal iff each side is the
+        # full common neighborhood of the other.
+        common_upper = set(range(graph.num_upper))
+        for v in lower:
+            common_upper &= graph.neighbor_set(Side.LOWER, v)
+        common_lower = set(range(graph.num_lower))
+        for u in common_upper:
+            common_lower &= graph.neighbor_set(Side.UPPER, u)
+        if common_upper and common_lower:
+            maximal.add(
+                (tuple(sorted(common_upper)), tuple(sorted(common_lower)))
+            )
+    return maximal
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5])
+def test_enumeration_matches_closure_oracle(seed):
+    graph = random_bipartite(6, 7, 0.45, seed=seed)
+    got = {b.signature() for b in enumerate_maximal_bicliques(graph)}
+    assert got == _maximal_via_closures(graph)
+
+
+def test_enumeration_on_paper_graph(paper_graph):
+    got = {b.signature() for b in enumerate_maximal_bicliques(paper_graph)}
+    assert got == _maximal_via_closures(paper_graph)
+    # Spot check: the 4x3 block is maximal.
+    def u(name):
+        return paper_graph.vertex_by_label(Side.UPPER, name)
+
+    def v(name):
+        return paper_graph.vertex_by_label(Side.LOWER, name)
+
+    block = (
+        tuple(sorted(u(n) for n in ("u1", "u2", "u3", "u4"))),
+        tuple(sorted(v(n) for n in ("v1", "v2", "v3"))),
+    )
+    assert block in got
+
+
+def test_complete_bipartite_has_one_maximal():
+    graph = complete_bipartite(3, 4)
+    assert maximal_biclique_count(graph) == 1
+
+
+def test_star_has_one_maximal():
+    graph = star(5)
+    bicliques = list(enumerate_maximal_bicliques(graph))
+    assert len(bicliques) == 1
+    assert bicliques[0].shape == (1, 5)
+
+
+def test_all_results_are_maximal_bicliques(medium_planted_graph):
+    graph = medium_planted_graph
+    count = 0
+    for biclique in enumerate_maximal_bicliques(graph, limit=50_000):
+        count += 1
+        if count > 200:
+            break
+        assert biclique.is_valid_in(graph)
+        # Not extendable by any vertex.
+        for u in range(graph.num_upper):
+            if u not in biclique.upper:
+                assert not (
+                    biclique.lower <= graph.neighbor_set(Side.UPPER, u)
+                )
+    assert count > 0
+
+
+def test_limit_guard():
+    graph = random_bipartite(8, 8, 0.6, seed=1)
+    with pytest.raises(RuntimeError):
+        list(enumerate_maximal_bicliques(graph, limit=1))
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+@pytest.mark.parametrize("constraints", [(1, 1), (2, 2), (3, 2), (2, 4)])
+def test_constrained_enumeration_equals_filtered(seed, constraints):
+    """MineLMBC-style pruning returns exactly the size-filtered set."""
+    min_upper, min_lower = constraints
+    graph = random_bipartite(6, 7, 0.5, seed=seed)
+    unconstrained = {
+        b.signature()
+        for b in enumerate_maximal_bicliques(graph)
+        if b.satisfies(min_upper, min_lower)
+    }
+    constrained = {
+        b.signature()
+        for b in enumerate_maximal_bicliques(
+            graph, min_upper=min_upper, min_lower=min_lower
+        )
+    }
+    assert constrained == unconstrained
+
+
+def test_constrained_enumeration_validation(paper_graph):
+    with pytest.raises(ValueError):
+        list(enumerate_maximal_bicliques(paper_graph, min_upper=0))
+    with pytest.raises(ValueError):
+        list(enumerate_maximal_bicliques(paper_graph, min_lower=-1))
+
+
+@pytest.mark.parametrize("seed", [0, 3, 6])
+def test_personalized_from_enumeration_matches_brute(seed):
+    graph = random_bipartite(7, 6, 0.45, seed=seed)
+    for side in Side:
+        for q in range(graph.num_vertices_on(side)):
+            if graph.degree(side, q) == 0:
+                continue
+            for tau_u, tau_l in ((1, 1), (2, 2)):
+                via_enum = personalized_max_from_enumeration(
+                    graph, side, q, tau_u, tau_l
+                )
+                via_brute = personalized_max_brute(graph, side, q, tau_u, tau_l)
+                enum_size = via_enum.num_edges if via_enum else 0
+                brute_size = (
+                    len(via_brute[0]) * len(via_brute[1]) if via_brute else 0
+                )
+                assert enum_size == brute_size

@@ -1,0 +1,87 @@
+"""Unit tests for Hopcroft–Karp and König covers."""
+
+from __future__ import annotations
+
+import random
+
+from repro.mvb.matching import hopcroft_karp, konig_vertex_cover
+
+
+def _brute_force_matching(adj, num_lower):
+    """Exponential exact matching size for cross-checks."""
+    best = 0
+    num_upper = len(adj)
+
+    def extend(u, used_lower, size):
+        nonlocal best
+        best = max(best, size)
+        if u == num_upper:
+            return
+        extend(u + 1, used_lower, size)  # leave u unmatched
+        for v in adj[u]:
+            if v not in used_lower:
+                extend(u + 1, used_lower | {v}, size + 1)
+
+    extend(0, frozenset(), 0)
+    return best
+
+
+def test_perfect_matching_complete():
+    adj = [[0, 1, 2], [0, 1, 2], [0, 1, 2]]
+    size, match_upper, match_lower = hopcroft_karp(adj, 3)
+    assert size == 3
+    assert sorted(match_upper) == [0, 1, 2]
+    assert all(match_lower[match_upper[u]] == u for u in range(3))
+
+
+def test_no_edges():
+    size, match_upper, match_lower = hopcroft_karp([[], []], 2)
+    assert size == 0
+    assert match_upper == [None, None]
+
+
+def test_star_matching():
+    adj = [[0, 1, 2, 3]]
+    size, __, __ = hopcroft_karp(adj, 4)
+    assert size == 1
+
+
+def test_matching_matches_brute_force_random():
+    rng = random.Random(3)
+    for trial in range(30):
+        num_upper = rng.randint(1, 6)
+        num_lower = rng.randint(1, 6)
+        adj = [
+            sorted(
+                v for v in range(num_lower) if rng.random() < 0.45
+            )
+            for __ in range(num_upper)
+        ]
+        size, match_upper, match_lower = hopcroft_karp(adj, num_lower)
+        assert size == _brute_force_matching(adj, num_lower), (trial, adj)
+        # Matching consistency.
+        for u, v in enumerate(match_upper):
+            if v is not None:
+                assert v in adj[u]
+                assert match_lower[v] == u
+
+
+def test_konig_cover_is_minimum_and_covers():
+    rng = random.Random(9)
+    for trial in range(30):
+        num_upper = rng.randint(1, 6)
+        num_lower = rng.randint(1, 6)
+        adj = [
+            sorted(v for v in range(num_lower) if rng.random() < 0.5)
+            for __ in range(num_upper)
+        ]
+        size, match_upper, match_lower = hopcroft_karp(adj, num_lower)
+        cover_upper, cover_lower = konig_vertex_cover(
+            adj, num_lower, match_upper, match_lower
+        )
+        # König: |cover| == matching size.
+        assert len(cover_upper) + len(cover_lower) == size
+        # Every edge is covered.
+        for u, neighbors in enumerate(adj):
+            for v in neighbors:
+                assert u in cover_upper or v in cover_lower, (trial, u, v)

@@ -1,0 +1,77 @@
+"""Unit tests for the maximum vertex biclique algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.bipartite import BipartiteGraph, Side
+from repro.graph.generators import complete_bipartite, random_bipartite, star
+from repro.mbc.oracle import all_closed_bicliques
+from repro.mvb import maximum_vertex_biclique
+
+
+def _brute_vertex_max(graph):
+    """Max |U|+|L| over two-sided bicliques, via closed pairs."""
+    best = 0
+    for upper, lower in all_closed_bicliques(graph):
+        # (upper, lower) may not be vertex-maximal on the upper side;
+        # closing it is: all uppers adjacent to every lower.
+        full_upper = set(range(graph.num_upper))
+        for v in lower:
+            full_upper &= graph.neighbor_set(Side.LOWER, v)
+        best = max(best, len(full_upper) + len(lower))
+    return best
+
+
+def test_complete_bipartite():
+    result = maximum_vertex_biclique(complete_bipartite(3, 5))
+    assert result.shape == (3, 5)
+
+
+def test_star():
+    result = maximum_vertex_biclique(star(6))
+    assert result.shape == (1, 6)
+
+
+def test_paper_graph(paper_graph):
+    result = maximum_vertex_biclique(paper_graph)
+    assert result.is_valid_in(paper_graph)
+    assert len(result.upper) + len(result.lower) == _brute_vertex_max(
+        paper_graph
+    )
+
+
+@pytest.mark.parametrize("seed", list(range(15)))
+def test_matches_brute_force_random(seed):
+    graph = random_bipartite(6, 6, 0.35 + (seed % 4) * 0.15, seed=seed)
+    graph = graph.without_isolated_vertices()
+    if graph.num_edges == 0:
+        return
+    result = maximum_vertex_biclique(graph)
+    assert result is not None
+    assert result.upper and result.lower
+    assert result.is_valid_in(graph)
+    assert len(result.upper) + len(result.lower) == _brute_vertex_max(graph)
+
+
+def test_unconstrained_mode_may_return_one_sided():
+    # A perfect matching's complement has a perfect matching too; the
+    # unconstrained independent set can exceed any two-sided biclique.
+    graph = BipartiteGraph([[0], [1], [2]], num_lower=3)
+    unconstrained = maximum_vertex_biclique(graph, require_both_sides=False)
+    assert len(unconstrained.upper) + len(unconstrained.lower) >= 3
+    two_sided = maximum_vertex_biclique(graph)
+    assert two_sided.upper and two_sided.lower
+    assert len(two_sided.upper) + len(two_sided.lower) == 2
+    assert two_sided.is_valid_in(graph)
+
+
+def test_empty_layer():
+    graph = BipartiteGraph([], num_lower=0)
+    assert maximum_vertex_biclique(graph) is None
+
+
+def test_size_guard():
+    graph = complete_bipartite(3, 3)
+    with pytest.raises(ValueError):
+        maximum_vertex_biclique(graph, max_cells=4)

@@ -1,0 +1,105 @@
+"""Hypothesis property tests for (α,β)-cores, bounds, skyline, schedule."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Biclique, simulate_parallel_schedule
+from repro.core.index import BicliqueArray
+from repro.core.skyline import SkylineIndex
+from repro.corenum.bounds import compute_bounds
+from repro.corenum.decomposition import decompose
+from repro.corenum.peeling import alpha_beta_core
+from repro.graph.bipartite import Side
+from repro.graph.builders import from_edges
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 6), st.integers(0, 6)),
+    min_size=1,
+    max_size=25,
+)
+
+
+def build(edges):
+    return from_edges(sorted(set(edges)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(edge_lists, st.integers(1, 4), st.integers(1, 4))
+def test_decomposition_consistent_with_peeling(edges, alpha, beta):
+    graph = build(edges)
+    decomposition = decompose(graph)
+    upper, lower = alpha_beta_core(graph, alpha, beta)
+    for side, members in ((Side.UPPER, upper), (Side.LOWER, lower)):
+        for v in range(graph.num_vertices_on(side)):
+            assert decomposition.in_core(side, v, alpha, beta) == (
+                v in members
+            )
+
+
+@settings(max_examples=25, deadline=None)
+@given(edge_lists)
+def test_z_bound_dominates_every_closed_biclique(edges):
+    graph = build(edges)
+    bounds = compute_bounds(graph)
+    from repro.mbc.oracle import all_closed_bicliques
+
+    for upper, lower in all_closed_bicliques(graph):
+        size = len(upper) * len(lower)
+        for u in upper:
+            assert bounds.z_bound(Side.UPPER, u) >= size
+        for v in lower:
+            assert bounds.z_bound(Side.LOWER, v) >= size
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 6), st.integers(1, 6)),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_skyline_invariant_under_random_inserts(shapes):
+    """After arbitrary updates the per-vertex sets are antichains."""
+    graph = from_edges([(0, 0)], upper_labels=list(range(8)),
+                       lower_labels=list(range(8)))
+    array = BicliqueArray()
+    skyline = SkylineIndex(graph, array)
+    for i, (a, b) in enumerate(shapes):
+        biclique = Biclique(
+            upper=frozenset(range(a)), lower=frozenset(range(b))
+        )
+        biclique_id, __ = array.add(biclique)
+        skyline.update(biclique, biclique_id)
+    for side in Side:
+        for v in range(8):
+            entries = [array[i] for i in skyline.entries(side, v)]
+            for i, first in enumerate(entries):
+                for second in entries[i + 1 :]:
+                    assert not first.dominates(second)
+                    assert not second.dominates(first)
+            # Every inserted biclique containing v is dominated by some
+            # skyline entry.
+            for a, b in shapes:
+                contained = v < a if side is Side.UPPER else v < b
+                if contained:
+                    assert any(
+                        len(e.upper) >= a and len(e.lower) >= b
+                        for e in entries
+                    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.floats(0.001, 10.0), min_size=1, max_size=60),
+    st.integers(1, 64),
+)
+def test_schedule_bounds(costs, workers):
+    result = simulate_parallel_schedule(costs, workers)
+    total = sum(costs)
+    # Classic makespan bounds for list scheduling.
+    assert result.makespan >= max(costs) - 1e-9
+    assert result.makespan >= total / workers - 1e-9
+    assert result.makespan <= total + 1e-9
+    assert 1.0 - 1e-9 <= result.speedup <= workers + 1e-9

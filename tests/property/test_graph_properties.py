@@ -1,0 +1,78 @@
+"""Hypothesis property tests for the graph substrate."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.bipartite import BipartiteGraph, Side
+from repro.graph.builders import from_edges
+from repro.graph.subgraph import two_hop_subgraph
+
+#: Random small edge lists over bounded label universes.
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 7), st.integers(0, 7)),
+    min_size=1,
+    max_size=30,
+)
+
+
+def build(edges):
+    return from_edges([(f"u{u}", f"v{v}") for u, v in edges])
+
+
+@settings(max_examples=50, deadline=None)
+@given(edge_lists)
+def test_degree_sums_match_edge_count(edges):
+    graph = build(edges)
+    upper_sum = sum(graph.degrees(Side.UPPER))
+    lower_sum = sum(graph.degrees(Side.LOWER))
+    assert upper_sum == lower_sum == graph.num_edges
+
+
+@settings(max_examples=50, deadline=None)
+@given(edge_lists)
+def test_adjacency_is_symmetric(edges):
+    graph = build(edges)
+    for u, v in graph.edges():
+        assert u in graph.neighbor_set(Side.LOWER, v)
+        assert v in graph.neighbor_set(Side.UPPER, u)
+        assert graph.has_edge(u, v)
+
+
+@settings(max_examples=50, deadline=None)
+@given(edge_lists)
+def test_edge_set_roundtrips_through_labels(edges):
+    graph = build(edges)
+    labeled = {
+        (graph.label(Side.UPPER, u), graph.label(Side.LOWER, v))
+        for u, v in graph.edges()
+    }
+    expected = {(f"u{u}", f"v{v}") for u, v in edges}
+    assert labeled == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_lists, st.integers(0, 7))
+def test_two_hop_subgraph_contains_closed_neighborhood(edges, u_pick):
+    graph = build(edges)
+    q = u_pick % graph.num_upper
+    local = two_hop_subgraph(graph, Side.UPPER, q)
+    # Lower layer is exactly N(q).
+    assert sorted(local.lower_globals) == list(graph.neighbors(Side.UPPER, q))
+    # q is adjacent to every local lower vertex (the Lemma 1 fact).
+    assert local.adj_upper[local.q_local] == set(range(local.num_lower))
+    # Every local edge is a real edge of the parent graph.
+    for lu, neighbors in enumerate(local.adj_upper):
+        gu = local.upper_globals[lu]
+        for lv in neighbors:
+            assert graph.has_edge(gu, local.lower_globals[lv])
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_lists)
+def test_without_isolated_is_idempotent(edges):
+    graph = build(edges)
+    once = graph.without_isolated_vertices()
+    twice = once.without_isolated_vertices()
+    assert once == twice
+    assert once.degree_one_free()

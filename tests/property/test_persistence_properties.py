@@ -1,0 +1,92 @@
+"""Hypothesis property tests for persistence and dynamic maintenance."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import build_index_star, pmbc_index_query
+from repro.core.dynamic import DynamicPMBCIndex
+from repro.core.index import PMBCIndex
+from repro.core.serialize import load_binary, save_binary
+from repro.graph.bipartite import Side
+from repro.graph.builders import from_edges
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 5)),
+    min_size=1,
+    max_size=18,
+)
+
+
+def build(edges):
+    return from_edges(sorted(set(edges)))
+
+
+def _all_answers(index, graph):
+    answers = {}
+    for side in Side:
+        for q in range(graph.num_vertices_on(side)):
+            for tau_u in (1, 2, 3):
+                for tau_l in (1, 2, 3):
+                    result = pmbc_index_query(index, side, q, tau_u, tau_l)
+                    answers[(side, q, tau_u, tau_l)] = (
+                        result.num_edges if result else 0
+                    )
+    return answers
+
+
+@settings(max_examples=20, deadline=None)
+@given(edge_lists)
+def test_json_roundtrip_preserves_all_answers(edges):
+    import tempfile
+    from pathlib import Path
+
+    graph = build(edges)
+    index = build_index_star(graph)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "index.json"
+        index.save(path)
+        loaded = PMBCIndex.load(path)
+    assert _all_answers(index, graph) == _all_answers(loaded, graph)
+
+
+@settings(max_examples=20, deadline=None)
+@given(edge_lists)
+def test_binary_roundtrip_preserves_all_answers(edges):
+    import tempfile
+    from pathlib import Path
+
+    graph = build(edges)
+    index = build_index_star(graph)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "index.bin"
+        save_binary(index, path)
+        loaded = load_binary(path)
+    assert _all_answers(index, graph) == _all_answers(loaded, graph)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    edge_lists,
+    st.lists(
+        st.tuples(
+            st.booleans(), st.integers(0, 5), st.integers(0, 5)
+        ),
+        max_size=6,
+    ),
+)
+def test_dynamic_equals_fresh_rebuild_after_any_ops(edges, ops):
+    """After any applicable op sequence, the dynamic index answers
+    exactly like an index built from scratch on the final graph."""
+    graph = build(edges)
+    dynamic = DynamicPMBCIndex(graph)
+    for insert, u, v in ops:
+        if insert:
+            if not dynamic.has_edge(u, v):
+                dynamic.insert_edge(u, v)
+        else:
+            if dynamic.has_edge(u, v):
+                dynamic.delete_edge(u, v)
+    final = dynamic.graph()
+    fresh = build_index_star(final)
+    assert _all_answers(dynamic.index, final) == _all_answers(fresh, final)

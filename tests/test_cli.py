@@ -1,0 +1,183 @@
+"""Unit tests for the pmbc command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import paper_example_graph
+from repro.graph.io import write_edge_list, write_konect
+
+
+@pytest.fixture
+def edges_file(tmp_path):
+    path = tmp_path / "graph.txt"
+    write_edge_list(paper_example_graph(), path)
+    return str(path)
+
+
+@pytest.fixture
+def konect_file(tmp_path):
+    path = tmp_path / "out.graph"
+    write_konect(paper_example_graph(), path)
+    return str(path)
+
+
+def test_build_and_query(edges_file, tmp_path, capsys):
+    index_path = str(tmp_path / "index.json")
+    assert main(["build", edges_file, "-o", index_path]) == 0
+    out = capsys.readouterr().out
+    assert "built PMBC-Index" in out
+
+    code = main(
+        [
+            "query",
+            edges_file,
+            "--index",
+            index_path,
+            "--side",
+            "upper",
+            "--label",
+            "u1",
+            "--tau-u",
+            "1",
+            "--tau-l",
+            "1",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["shape"] == [4, 3]
+    assert "u1" in payload["upper"]
+
+
+def test_online_query_without_index(edges_file, capsys):
+    code = main(
+        ["query", edges_file, "--side", "upper", "--label", "u7"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["shape"] == [3, 3]
+
+
+def test_query_no_result(edges_file, capsys):
+    code = main(
+        [
+            "query",
+            edges_file,
+            "--side",
+            "upper",
+            "--label",
+            "u1",
+            "--tau-u",
+            "6",
+        ]
+    )
+    assert code == 1
+    assert "no biclique" in capsys.readouterr().out
+
+
+def test_query_requires_vertex_or_label(edges_file, capsys):
+    code = main(["query", edges_file, "--side", "upper"])
+    assert code == 2
+
+
+def test_konect_input(konect_file, capsys):
+    code = main(
+        ["query", konect_file, "--konect", "--side", "upper", "--vertex", "0"]
+    )
+    assert code == 0
+
+
+def test_stats(edges_file, tmp_path, capsys):
+    index_path = str(tmp_path / "index.json")
+    main(["build", edges_file, "-o", index_path])
+    capsys.readouterr()
+    assert main(["stats", edges_file, "--index", index_path]) == 0
+    out = capsys.readouterr().out
+    assert "|E|=25" in out
+    assert "num_bicliques" in out
+
+
+def test_datasets_listing(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "Writers" in out
+    assert "DBLP" in out
+
+
+def test_invalid_side(edges_file):
+    with pytest.raises(SystemExit):
+        main(["query", edges_file, "--side", "middle", "--vertex", "0"])
+
+
+def test_build_without_cost_sharing(edges_file, tmp_path, capsys):
+    index_path = str(tmp_path / "index_ic.json")
+    assert main(["build", edges_file, "-o", index_path, "--no-cost-sharing"]) == 0
+
+
+def test_topk_command(edges_file, tmp_path, capsys):
+    index_path = str(tmp_path / "index.json")
+    main(["build", edges_file, "-o", index_path])
+    capsys.readouterr()
+    code = main(
+        [
+            "topk",
+            edges_file,
+            "--index",
+            index_path,
+            "--side",
+            "upper",
+            "--label",
+            "u1",
+            "-k",
+            "3",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload) == 3
+    assert payload[0]["edges"] >= payload[1]["edges"] >= payload[2]["edges"]
+    assert payload[0]["shape"] == [4, 3]
+
+
+def test_topk_command_empty(edges_file, tmp_path, capsys):
+    index_path = str(tmp_path / "index.json")
+    main(["build", edges_file, "-o", index_path])
+    capsys.readouterr()
+    code = main(
+        [
+            "topk", edges_file, "--index", index_path,
+            "--side", "upper", "--label", "u1", "--tau-u", "6",
+        ]
+    )
+    assert code == 1
+
+
+def test_datasets_stats_flag(capsys):
+    assert main(["datasets", "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "deg_U" in out and "hub%" in out
+
+
+def test_binary_index_build_and_query(edges_file, tmp_path, capsys):
+    index_path = str(tmp_path / "index.bin")
+    assert main(["build", edges_file, "-o", index_path, "--binary"]) == 0
+    capsys.readouterr()
+    code = main(
+        [
+            "query",
+            edges_file,
+            "--index",
+            index_path,
+            "--side",
+            "upper",
+            "--label",
+            "u1",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["shape"] == [4, 3]

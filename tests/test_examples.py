@@ -1,0 +1,55 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[1] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_expected_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "fraud_detection.py",
+        "recommendation.py",
+        "gene_expression.py",
+        "streaming_monitor.py",
+    } <= names
+
+
+def test_fraud_example_recovers_rings():
+    script = next(p for p in EXAMPLES if p.name == "fraud_detection.py")
+    result = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True,
+        timeout=300,
+    )
+    assert result.stdout.count("full ring recovered: True") == 2
+
+
+def test_streaming_example_alerts():
+    script = next(p for p in EXAMPLES if p.name == "streaming_monitor.py")
+    result = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True,
+        timeout=300,
+    )
+    assert "ALERT" in result.stdout
+    assert "ring confirmed" in result.stdout

@@ -1,0 +1,85 @@
+"""Failure-injection and robustness tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Side, build_index_star, pmbc_index_query, pmbc_online
+from repro.core.index import PMBCIndex
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import paper_example_graph
+from repro.graph.io import read_konect
+
+
+def test_corrupted_index_file_raises(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    with pytest.raises(json.JSONDecodeError):
+        PMBCIndex.load(path)
+
+
+def test_index_file_missing_fields(tmp_path):
+    path = tmp_path / "partial.json"
+    path.write_text(json.dumps({"num_upper": 1}))
+    with pytest.raises(KeyError):
+        PMBCIndex.load(path)
+
+
+def test_missing_graph_file():
+    with pytest.raises(FileNotFoundError):
+        read_konect("/nonexistent/out.graph")
+
+
+def test_query_against_wrong_sized_index(paper_graph):
+    """Loading an index for graph A and querying vertex ids of a larger
+    graph B fails loudly instead of returning wrong data."""
+    index = build_index_star(paper_graph)
+    with pytest.raises(ValueError):
+        pmbc_index_query(index, Side.UPPER, paper_graph.num_upper + 5, 1, 1)
+
+
+def test_graph_with_isolated_vertex_still_indexable():
+    """Vertices with degree 0 (the paper removes them; we tolerate them)
+    get empty trees and every query on them returns None."""
+    graph = BipartiteGraph([[0], []], num_lower=1)
+    index = build_index_star(graph)
+    assert pmbc_index_query(index, Side.UPPER, 1, 1, 1) is None
+    assert pmbc_index_query(index, Side.UPPER, 0, 1, 1) is not None
+
+
+def test_single_edge_graph():
+    graph = BipartiteGraph([[0]], num_lower=1)
+    index = build_index_star(graph)
+    result = pmbc_index_query(index, Side.UPPER, 0, 1, 1)
+    assert result is not None
+    assert result.shape == (1, 1)
+    assert pmbc_index_query(index, Side.UPPER, 0, 2, 1) is None
+
+
+def test_duplicate_edges_do_not_inflate_results():
+    graph = BipartiteGraph([[0, 0, 0], [0]], num_lower=1)
+    result = pmbc_online(graph, Side.UPPER, 0, 1, 1)
+    assert result.shape == (2, 1)
+
+
+def test_extreme_constraints_do_not_crash(paper_graph):
+    assert pmbc_online(paper_graph, Side.UPPER, 0, 10**6, 1) is None
+    assert pmbc_online(paper_graph, Side.UPPER, 0, 1, 10**6) is None
+    index = build_index_star(paper_graph)
+    assert pmbc_index_query(index, Side.UPPER, 0, 10**6, 10**6) is None
+
+
+def test_interrupted_parallel_build_propagates_errors(monkeypatch):
+    """A worker crash surfaces to the caller instead of hanging."""
+    from repro.core import parallel as parallel_module
+
+    graph = paper_example_graph()
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("injected fault")
+
+    monkeypatch.setattr(parallel_module, "build_search_tree", boom)
+    with pytest.raises(RuntimeError, match="injected fault"):
+        parallel_module.build_index_parallel(graph, num_threads=2)

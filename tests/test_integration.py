@@ -1,0 +1,113 @@
+"""End-to-end integration tests across the whole stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Side,
+    build_index,
+    build_index_parallel,
+    build_index_star,
+    build_naive_index,
+    pmbc_index_query,
+    pmbc_online,
+    pmbc_online_star,
+)
+from repro.bench.workloads import top_degree_queries
+from repro.core.index import PMBCIndex
+from repro.corenum.bounds import compute_bounds
+from repro.datasets.zoo import load_dataset
+from repro.mbe import personalized_max_from_enumeration
+
+
+@pytest.fixture(scope="module")
+def writers():
+    return load_dataset("Writers")
+
+
+@pytest.fixture(scope="module")
+def writers_bounds(writers):
+    return compute_bounds(writers)
+
+
+@pytest.fixture(scope="module")
+def writers_index(writers, writers_bounds):
+    return build_index_star(writers, bounds=writers_bounds)
+
+
+def test_all_query_paths_agree_on_zoo_dataset(
+    writers, writers_bounds, writers_index
+):
+    """PMBC-OL, PMBC-OL*, PMBC-IQ and the naive index agree everywhere."""
+    naive = build_naive_index(writers, bounds=writers_bounds, time_budget=60)
+    queries = top_degree_queries(writers, num_queries=8, seed=7)
+    for side, q in queries:
+        for tau_u, tau_l in ((1, 1), (2, 2), (3, 3), (5, 2)):
+            online = pmbc_online(writers, side, q, tau_u, tau_l)
+            star = pmbc_online_star(
+                writers, side, q, tau_u, tau_l, bounds=writers_bounds
+            )
+            indexed = pmbc_index_query(writers_index, side, q, tau_u, tau_l)
+            basic = naive.query(side, q, tau_u, tau_l)
+            sizes = {
+                "online": online.num_edges if online else 0,
+                "star": star.num_edges if star else 0,
+                "indexed": indexed.num_edges if indexed else 0,
+                "naive": basic.num_edges if basic else 0,
+            }
+            assert len(set(sizes.values())) == 1, (side, q, tau_u, tau_l, sizes)
+
+
+def test_index_roundtrip_on_zoo_dataset(writers, writers_index, tmp_path):
+    path = tmp_path / "writers.json"
+    writers_index.save(path)
+    loaded = PMBCIndex.load(path)
+    queries = top_degree_queries(writers, num_queries=5, seed=9)
+    for side, q in queries:
+        a = pmbc_index_query(writers_index, side, q, 2, 2)
+        b = pmbc_index_query(loaded, side, q, 2, 2)
+        assert (a.num_edges if a else 0) == (b.num_edges if b else 0)
+
+
+def test_parallel_build_on_zoo_dataset(writers, writers_bounds, writers_index):
+    parallel = build_index_parallel(
+        writers, num_threads=3, bounds=writers_bounds
+    )
+    queries = top_degree_queries(writers, num_queries=6, seed=11)
+    for side, q in queries:
+        for tau_u, tau_l in ((1, 1), (3, 2)):
+            a = pmbc_index_query(writers_index, side, q, tau_u, tau_l)
+            b = pmbc_index_query(parallel, side, q, tau_u, tau_l)
+            assert (a.num_edges if a else 0) == (b.num_edges if b else 0)
+
+
+def test_enumeration_oracle_agrees_on_small_subgraph(writers):
+    """Cross-validate against iMBEA on a small induced subgraph."""
+    from repro.graph.sampling import sample_edges
+
+    small = sample_edges(writers, 0.15, seed=4)
+    index = build_index_star(small)
+    for side in Side:
+        step = max(1, small.num_vertices_on(side) // 6)
+        for q in range(0, small.num_vertices_on(side), step):
+            for tau_u, tau_l in ((1, 1), (2, 2)):
+                indexed = pmbc_index_query(index, side, q, tau_u, tau_l)
+                via_enum = personalized_max_from_enumeration(
+                    small, side, q, tau_u, tau_l
+                )
+                assert (indexed.num_edges if indexed else 0) == (
+                    via_enum.num_edges if via_enum else 0
+                )
+
+
+def test_ic_and_ic_star_answer_identically(writers, writers_bounds, writers_index):
+    """IC and IC* may pick different equal-size optima (and thus grow
+    differently shaped trees), but every query answer size must agree."""
+    plain = build_index(writers, bounds=writers_bounds)
+    queries = top_degree_queries(writers, num_queries=10, seed=13)
+    for side, q in queries:
+        for tau_u, tau_l in ((1, 1), (2, 3), (4, 2), (6, 6)):
+            a = pmbc_index_query(plain, side, q, tau_u, tau_l)
+            b = pmbc_index_query(writers_index, side, q, tau_u, tau_l)
+            assert (a.num_edges if a else 0) == (b.num_edges if b else 0)

@@ -1,0 +1,35 @@
+"""Guards against documentation bit-rot: README snippets must run."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+README = Path(__file__).resolve().parents[1] / "README.md"
+
+
+def _python_blocks(text: str) -> list[str]:
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_readme_exists_and_mentions_core_api():
+    text = README.read_text()
+    for token in (
+        "pmbc_online",
+        "build_index_star",
+        "pmbc_index_query",
+        "DESIGN.md",
+        "EXPERIMENTS.md",
+    ):
+        assert token in text, token
+
+
+def test_readme_quickstart_snippet_runs(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # index.save writes a file
+    blocks = _python_blocks(README.read_text())
+    assert blocks, "README has no python snippet"
+    namespace: dict = {}
+    for block in blocks:
+        exec(compile(block, "<README>", "exec"), namespace)
+    # The quickstart built a biclique and saved an index.
+    assert (tmp_path / "index.json").exists()

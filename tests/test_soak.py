@@ -1,0 +1,58 @@
+"""Soak test: a broad randomized cross-check on larger graphs.
+
+Bigger and denser than the per-module oracle tests (12×12, up to ~60
+edges) — sized so brute force is still exact but the search stack's
+pruning machinery is genuinely exercised.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    build_index_star,
+    pmbc_index_query,
+    pmbc_online_star,
+)
+from repro.corenum.bounds import compute_bounds
+from repro.graph.bipartite import Side
+from repro.graph.generators import random_bipartite, with_planted_blocks
+from repro.mbc.oracle import personalized_max_brute
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_index_and_online_match_oracle_on_denser_graphs(seed):
+    rng = random.Random(seed)
+    base = random_bipartite(
+        12, 12, rng.uniform(0.2, 0.45), seed=seed
+    ).without_isolated_vertices()
+    if base.num_edges == 0:
+        return
+    blocks = [(rng.randint(3, 5), rng.randint(3, 5))]
+    graph = with_planted_blocks(base, blocks, seed=seed + 1)
+    bounds = compute_bounds(graph)
+    index = build_index_star(graph, bounds=bounds)
+    queries = [
+        (side, rng.randrange(graph.num_vertices_on(side)))
+        for side in Side
+        for __ in range(4)
+    ]
+    for side, q in queries:
+        if graph.degree(side, q) == 0:
+            continue
+        for tau_u, tau_l in ((1, 1), (2, 3), (3, 3), (4, 2)):
+            expected = personalized_max_brute(graph, side, q, tau_u, tau_l)
+            exp_size = (
+                len(expected[0]) * len(expected[1]) if expected else 0
+            )
+            online = pmbc_online_star(
+                graph, side, q, tau_u, tau_l, bounds=bounds
+            )
+            indexed = pmbc_index_query(index, side, q, tau_u, tau_l)
+            assert (online.num_edges if online else 0) == exp_size
+            assert (indexed.num_edges if indexed else 0) == exp_size
+            if indexed:
+                assert indexed.contains(side, q)
+                assert indexed.is_valid_in(graph)
