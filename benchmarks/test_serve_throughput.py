@@ -1,0 +1,139 @@
+"""Closed-loop throughput/latency benchmark of the serving stack (ours).
+
+N client threads issue a Zipf-skewed query stream (hubs dominate, the
+tail recurs — the traffic shape the serving layer is built for)
+against a shared :class:`repro.serve.PMBCService`, closed-loop: each
+client sends its next request as soon as the previous one answers.
+
+Reported per case (``benchmark.extra_info``): requests/s, service-side
+p50/p99 latency, engine cache hit-rate, and single-flight shares.
+Index-backed serving should dominate engine-only serving, and the
+cache hit-rate should be high under Zipf skew.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.bench.workloads import zipf_queries
+from repro.core import build_index_star
+from repro.serve import PMBCService, ServiceConfig
+
+pytestmark = pytest.mark.benchmark(group="serve")
+
+DATASET = "Github"
+NUM_CLIENTS = 8
+REQUESTS_PER_CLIENT = 30
+TAU = 2
+
+
+@pytest.fixture(scope="module")
+def workload(graphs):
+    """One Zipf stream per client (different seeds, same skew)."""
+    graph = graphs(DATASET)
+    return [
+        zipf_queries(
+            graph, num_queries=REQUESTS_PER_CLIENT, exponent=1.2, seed=client
+        )
+        for client in range(NUM_CLIENTS)
+    ]
+
+
+def _run_closed_loop(service: PMBCService, workload) -> int:
+    errors: list[BaseException] = []
+
+    def client(stream) -> None:
+        try:
+            for side, vertex in stream:
+                service.query(side, vertex, TAU, TAU)
+        except BaseException as exc:  # pragma: no cover - diagnostic
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(stream,)) for stream in workload
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors[:1]
+    return NUM_CLIENTS * REQUESTS_PER_CLIENT
+
+
+def _attach_service_stats(benchmark, service: PMBCService) -> None:
+    stats = service.stats()
+    total = NUM_CLIENTS * REQUESTS_PER_CLIENT
+    benchmark.extra_info["requests_per_s"] = (
+        total / benchmark.stats["mean"]
+    )
+    benchmark.extra_info["latency_p50_ms"] = (
+        stats["latency_seconds"]["p50"] * 1e3
+    )
+    benchmark.extra_info["latency_p99_ms"] = (
+        stats["latency_seconds"]["p99"] * 1e3
+    )
+    benchmark.extra_info["cache_hit_rate"] = stats["engine_cache"]["hit_rate"]
+    benchmark.extra_info["singleflight_shared"] = (
+        stats["singleflight"]["shared"]
+    )
+
+
+def test_serve_engine_backend(benchmark, graphs, workload):
+    graph = graphs(DATASET)
+    state: dict = {}
+
+    def setup():
+        # Each round serves from a cold service (cache, metrics reset).
+        previous = state.get("service")
+        if previous is not None:
+            previous.close()
+        service = PMBCService(
+            graph,
+            config=ServiceConfig(num_workers=NUM_CLIENTS, max_queue=256),
+        ).start()
+        state["service"] = service
+        return (service, workload), {}
+
+    served = benchmark.pedantic(
+        _run_closed_loop, setup=setup, rounds=2, iterations=1
+    )
+    assert served == NUM_CLIENTS * REQUESTS_PER_CLIENT
+    service = state["service"]
+    stats = service.stats()
+    assert (
+        stats["requests"]["ok"] + stats["requests"]["empty"] == served
+    )
+    # Zipf skew must produce cache reuse.
+    assert stats["engine_cache"]["hit_rate"] > 0.5
+    _attach_service_stats(benchmark, service)
+    service.close()
+
+
+def test_serve_index_backend(benchmark, graphs, workload):
+    graph = graphs(DATASET)
+    index = build_index_star(graph)
+    state: dict = {}
+
+    def setup():
+        previous = state.get("service")
+        if previous is not None:
+            previous.close()
+        service = PMBCService(
+            graph,
+            index=index,
+            config=ServiceConfig(num_workers=NUM_CLIENTS, max_queue=256),
+        ).start()
+        state["service"] = service
+        return (service, workload), {}
+
+    served = benchmark.pedantic(
+        _run_closed_loop, setup=setup, rounds=2, iterations=1
+    )
+    assert served == NUM_CLIENTS * REQUESTS_PER_CLIENT
+    service = state["service"]
+    stats = service.stats()
+    assert stats["latency_seconds"]["p50"] <= stats["latency_seconds"]["p99"]
+    _attach_service_stats(benchmark, service)
+    service.close()

@@ -26,7 +26,10 @@ Packages:
 - :mod:`repro.datasets` — synthetic analogues of the paper's KONECT
   datasets;
 - :mod:`repro.bench` — experiment harness reproducing every table and
-  figure of Section VII.
+  figure of Section VII;
+- :mod:`repro.serve` — the production query-serving layer: request
+  queue, worker pool, deadlines, single-flight dedup, metrics, and an
+  HTTP/JSON front-end (``pmbc serve``).
 """
 
 from repro.core import (
@@ -49,13 +52,23 @@ from repro.graph import (
     read_edge_list,
     read_konect,
 )
+from repro.serve import (
+    PMBCClient,
+    PMBCServer,
+    PMBCService,
+    ServiceConfig,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Biclique",
     "BipartiteGraph",
+    "PMBCClient",
     "PMBCIndex",
+    "PMBCServer",
+    "PMBCService",
+    "ServiceConfig",
     "Side",
     "Vertex",
     "build_index",

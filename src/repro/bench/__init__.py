@@ -10,6 +10,7 @@ from repro.bench.workloads import (
     low_degree_queries,
     top_degree_queries,
     uniform_queries,
+    zipf_queries,
 )
 from repro.bench.harness import (
     Timed,
@@ -22,6 +23,7 @@ __all__ = [
     "top_degree_queries",
     "uniform_queries",
     "low_degree_queries",
+    "zipf_queries",
     "Timed",
     "time_callable",
     "save_results",

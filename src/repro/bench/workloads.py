@@ -70,6 +70,43 @@ def uniform_queries(
     return rng.sample(population, num_queries)
 
 
+def zipf_queries(
+    graph: BipartiteGraph,
+    num_queries: int = 200,
+    exponent: float = 1.1,
+    seed: int = 0,
+    side: Side | None = None,
+) -> list[tuple[Side, int]]:
+    """A Zipf-skewed *stream* of query vertices (with repetition).
+
+    Models serving traffic: vertices are ranked by degree and drawn
+    with probability proportional to ``1 / rank**exponent``, so a few
+    hubs dominate the stream while the tail still appears.  Unlike the
+    other generators this samples **with** replacement — repeats are
+    the point (they exercise caches and single-flight dedup in
+    :mod:`repro.serve`).  Deterministic for a given seed.
+    """
+    if num_queries < 1:
+        raise ValueError("num_queries must be >= 1")
+    if exponent <= 0:
+        raise ValueError(f"exponent must be positive, got {exponent}")
+    sides = [side] if side is not None else list(Side)
+    ranked = sorted(
+        (
+            (-graph.degree(s, v), s.value, s, v)
+            for s in sides
+            for v in range(graph.num_vertices_on(s))
+            if graph.degree(s, v) > 0
+        ),
+    )
+    if not ranked:
+        raise ValueError("graph has no non-isolated vertices")
+    population = [(s, v) for __, __, s, v in ranked]
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(len(population))]
+    rng = random.Random(seed)
+    return rng.choices(population, weights=weights, k=num_queries)
+
+
 def low_degree_queries(
     graph: BipartiteGraph,
     num_queries: int = 20,

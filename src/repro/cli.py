@@ -8,7 +8,9 @@ Subcommands:
   --tau-u 2 --tau-l 2`` — answer a personalized query (index-based when
   an index file is given, online otherwise);
 - ``pmbc stats <edges-file>`` — graph and index statistics;
-- ``pmbc datasets`` — list the built-in dataset zoo.
+- ``pmbc datasets`` — list the built-in dataset zoo;
+- ``pmbc serve <edges-file> [--index index.bin]`` — run the HTTP
+  query-serving front-end (see :mod:`repro.serve` and docs/serving.md).
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ from repro.core import (
     save_binary,
 )
 from repro.core.serialize import MAGIC as _BINARY_MAGIC
+from repro.core.serialize import IndexFormatError
 from repro.graph.bipartite import BipartiteGraph, Side
 from repro.graph.io import read_edge_list, read_konect
 
@@ -46,13 +49,39 @@ def _side(value: str) -> Side:
         )
 
 
+class _IndexLoadError(Exception):
+    """A user-facing index-loading failure (reported without traceback)."""
+
+
 def _load_index(path: str) -> PMBCIndex:
-    """Load a saved index, sniffing JSON vs binary by the magic bytes."""
-    with open(path, "rb") as handle:
-        head = handle.read(len(_BINARY_MAGIC))
-    if head == _BINARY_MAGIC:
-        return load_binary(path)
-    return PMBCIndex.load(path)
+    """Load a saved index, sniffing JSON vs binary by the magic bytes.
+
+    Raises :class:`_IndexLoadError` with a human-readable message when
+    the file is missing, unreadable, or not a valid index in either
+    format — commands turn that into a clean non-zero exit.
+    """
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(len(_BINARY_MAGIC))
+    except OSError as exc:
+        raise _IndexLoadError(
+            f"cannot read index file {path!r}: {exc.strerror or exc}"
+        ) from None
+    try:
+        if head == _BINARY_MAGIC:
+            return load_binary(path)
+        return PMBCIndex.load(path)
+    except IndexFormatError as exc:
+        raise _IndexLoadError(
+            f"corrupt binary index {path!r}: {exc}"
+        ) from None
+    except (ValueError, KeyError, TypeError, EOFError) as exc:
+        # JSON decode errors are ValueError subclasses; missing fields
+        # surface as KeyError/TypeError.
+        raise _IndexLoadError(
+            f"index file {path!r} is not a valid PMBC-Index "
+            f"(JSON or binary): {exc}"
+        ) from None
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
@@ -179,6 +208,43 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the HTTP query-serving front-end (repro.serve)."""
+    from repro.serve import PMBCServer, PMBCService, ServiceConfig
+
+    graph = _load_graph(args.graph, args.konect)
+    index = _load_index(args.index) if args.index else None
+    config = ServiceConfig(
+        num_workers=args.workers,
+        max_queue=args.queue_size,
+        default_deadline=args.deadline if args.deadline > 0 else None,
+        cache_size=args.cache_size,
+        use_core_bounds=not args.no_core_bounds,
+    )
+    service = PMBCService(graph, index=index, config=config).start()
+    server = PMBCServer(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    chain = " -> ".join(service.backend_names)
+    print(
+        f"pmbc serve: |U|={graph.num_upper} |L|={graph.num_lower} "
+        f"|E|={graph.num_edges}, backends: {chain}",
+        flush=True,
+    )
+    print(
+        f"listening on {server.url} "
+        f"(endpoints: /query /healthz /metrics /stats; Ctrl-C to stop)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     from repro.datasets.zoo import ZOO, load_dataset
 
@@ -271,13 +337,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--quick", action="store_true",
                          help="smallest datasets, reduced workload")
     p_bench.set_defaults(fn=_cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the HTTP query-serving front-end"
+    )
+    p_serve.add_argument("graph", help="edge-list file")
+    p_serve.add_argument("--konect", action="store_true")
+    p_serve.add_argument("--index",
+                         help="saved index to serve as the primary backend")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642)
+    p_serve.add_argument("--workers", type=int, default=8,
+                         help="worker thread-pool size (default 8)")
+    p_serve.add_argument("--queue-size", type=int, default=64,
+                         help="bounded request queue capacity (default 64)")
+    p_serve.add_argument("--deadline", type=float, default=30.0,
+                         help="default per-request deadline in seconds "
+                              "(0 disables; default 30)")
+    p_serve.add_argument("--cache-size", type=int, default=256,
+                         help="two-hop LRU capacity of the shared engine")
+    p_serve.add_argument("--no-core-bounds", action="store_true",
+                         help="skip (α,β)-core bound precomputation")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request")
+    p_serve.set_defaults(fn=_cmd_serve)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except _IndexLoadError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

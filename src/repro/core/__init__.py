@@ -20,7 +20,7 @@ from repro.core.result import Biclique
 from repro.core.online import pmbc_online, pmbc_online_local, pmbc_online_star
 from repro.core.index import BicliqueArray, PMBCIndex, SearchTree, SearchTreeNode
 from repro.core.query import pmbc_index_query, pmbc_index_topk
-from repro.core.engine import PMBCQueryEngine
+from repro.core.engine import CacheStats, PMBCQueryEngine
 from repro.core.construction import BuildStats, build_index, build_search_tree
 from repro.core.construction_star import build_index_star
 from repro.core.naive_index import NaiveIndex, NaiveIndexTimeout, build_naive_index
@@ -47,6 +47,7 @@ __all__ = [
     "pmbc_index_query",
     "pmbc_index_topk",
     "PMBCQueryEngine",
+    "CacheStats",
     "build_index",
     "build_index_star",
     "build_search_tree",

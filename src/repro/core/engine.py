@@ -9,13 +9,31 @@ and fully-unconstrained answers per vertex.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from dataclasses import dataclass
 
 from repro.core.online import pmbc_online_local
 from repro.core.result import Biclique
 from repro.corenum.bounds import CoreBounds, compute_bounds
 from repro.graph.bipartite import BipartiteGraph, Side
 from repro.graph.subgraph import LocalGraph, two_hop_subgraph
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of the engine's two-hop LRU cache."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
 
 class PMBCQueryEngine:
@@ -47,8 +65,10 @@ class PMBCQueryEngine:
         )
         self._cache_size = cache_size
         self._locals: OrderedDict[tuple[Side, int], LocalGraph] = OrderedDict()
-        self.cache_hits = 0
-        self.cache_misses = 0
+        self._cache_lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
 
     @property
     def graph(self) -> BipartiteGraph:
@@ -57,6 +77,34 @@ class PMBCQueryEngine:
     @property
     def bounds(self) -> CoreBounds | None:
         return self._bounds
+
+    @property
+    def cache_hits(self) -> int:
+        return self._hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self._misses
+
+    @property
+    def cache_evictions(self) -> int:
+        return self._evictions
+
+    def cache_stats(self) -> CacheStats:
+        """A consistent snapshot of hit/miss/eviction counters."""
+        with self._cache_lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._locals),
+                capacity=self._cache_size,
+            )
+
+    def clear_cache(self) -> None:
+        """Drop every cached two-hop subgraph (counters are kept)."""
+        with self._cache_lock:
+            self._locals.clear()
 
     def query(
         self, side: Side, q: int, tau_u: int = 1, tau_l: int = 1
@@ -77,14 +125,23 @@ class PMBCQueryEngine:
 
     def _two_hop(self, side: Side, q: int) -> LocalGraph:
         key = (side, q)
-        cached = self._locals.get(key)
-        if cached is not None:
-            self.cache_hits += 1
-            self._locals.move_to_end(key)
-            return cached
-        self.cache_misses += 1
+        with self._cache_lock:
+            cached = self._locals.get(key)
+            if cached is not None:
+                self._hits += 1
+                self._locals.move_to_end(key)
+                return cached
+            self._misses += 1
+        # Extraction runs outside the lock so concurrent workers on
+        # *different* vertices never serialize (identical concurrent
+        # queries are collapsed upstream by repro.serve's single-flight).
         local = two_hop_subgraph(self._graph, side, q)
-        self._locals[key] = local
-        if len(self._locals) > self._cache_size:
-            self._locals.popitem(last=False)
+        with self._cache_lock:
+            if key not in self._locals:
+                self._locals[key] = local
+            else:
+                self._locals.move_to_end(key)
+            while len(self._locals) > self._cache_size:
+                self._locals.popitem(last=False)
+                self._evictions += 1
         return local

@@ -1,0 +1,67 @@
+"""repro.serve — the production query-serving layer.
+
+Turns the in-process query stack (PMBC-Index, the caching engine,
+online search) into a shared, instrumented service:
+
+- :class:`~repro.serve.service.PMBCService` — bounded request queue
+  with admission control, worker pool, per-request deadlines,
+  single-flight deduplication, index → engine → online degradation;
+- :class:`~repro.serve.server.PMBCServer` — ``http.server`` JSON
+  front-end (``/query``, ``/healthz``, ``/metrics``, ``/stats``);
+- :class:`~repro.serve.client.PMBCClient` — stdlib client mapping
+  HTTP errors back onto the service exception types;
+- :mod:`~repro.serve.metrics` — dependency-free counters, gauges and
+  fixed-bucket latency histograms (p50/p95/p99);
+- :mod:`~repro.serve.singleflight` — in-flight request collapsing.
+
+See ``docs/serving.md`` for architecture and the endpoint reference,
+and ``pmbc serve`` for the CLI entry point.
+"""
+
+from repro.serve.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.serve.singleflight import (
+    FlightResult,
+    SingleFlight,
+    SingleFlightTimeout,
+)
+from repro.serve.service import (
+    BackendError,
+    DeadlineExceededError,
+    InvalidRequestError,
+    PMBCService,
+    QueryResult,
+    QueueFullError,
+    ServeError,
+    ServiceClosedError,
+    ServiceConfig,
+)
+from repro.serve.server import PMBCServer, serve_forever
+from repro.serve.client import PMBCClient, RemoteServiceError
+
+__all__ = [
+    "PMBCService",
+    "ServiceConfig",
+    "QueryResult",
+    "PMBCServer",
+    "serve_forever",
+    "PMBCClient",
+    "RemoteServiceError",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "SingleFlight",
+    "FlightResult",
+    "SingleFlightTimeout",
+    "ServeError",
+    "InvalidRequestError",
+    "QueueFullError",
+    "DeadlineExceededError",
+    "ServiceClosedError",
+    "BackendError",
+]

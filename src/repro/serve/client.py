@@ -1,0 +1,139 @@
+"""A thin stdlib client for the :mod:`repro.serve` HTTP front-end.
+
+Maps the server's error statuses back onto the service exception
+types, so callers handle ``QueueFullError`` / ``DeadlineExceededError``
+identically whether they talk to an in-process :class:`PMBCService` or
+a remote one.
+"""
+
+from __future__ import annotations
+
+import json
+from urllib.error import HTTPError, URLError
+from urllib.parse import urlencode
+from urllib.request import Request, urlopen
+
+from repro.serve.service import (
+    BackendError,
+    DeadlineExceededError,
+    InvalidRequestError,
+    QueueFullError,
+    ServeError,
+    ServiceClosedError,
+)
+
+__all__ = ["PMBCClient", "RemoteServiceError"]
+
+_STATUS_TO_ERROR: dict[int, type[ServeError]] = {
+    400: InvalidRequestError,
+    429: QueueFullError,
+    503: ServiceClosedError,
+    504: DeadlineExceededError,
+    500: BackendError,
+}
+
+
+class RemoteServiceError(ServeError):
+    """The server answered with an unexpected status or payload."""
+
+
+class PMBCClient:
+    """Talk to a running ``pmbc serve`` instance.
+
+    Parameters
+    ----------
+    base_url:
+        e.g. ``http://127.0.0.1:8642``.
+    timeout:
+        Socket timeout per HTTP call, seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+
+    def _request(
+        self, path: str, payload: dict | None = None
+    ) -> tuple[int, bytes]:
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        try:
+            with urlopen(
+                Request(url, data=data, headers=headers),
+                timeout=self.timeout,
+            ) as response:
+                return response.status, response.read()
+        except HTTPError as exc:
+            return exc.code, exc.read()
+        except URLError as exc:
+            raise RemoteServiceError(
+                f"cannot reach {url}: {exc.reason}"
+            ) from None
+
+    def _json(self, path: str, payload: dict | None = None) -> dict:
+        status, body = self._request(path, payload)
+        try:
+            decoded = json.loads(body)
+        except ValueError:
+            raise RemoteServiceError(
+                f"non-JSON response (status {status}) from {path}"
+            ) from None
+        if status == 200:
+            return decoded
+        error_cls = _STATUS_TO_ERROR.get(status, RemoteServiceError)
+        raise error_cls(decoded.get("detail", f"HTTP {status}"))
+
+    # ------------------------------------------------------------------
+    # endpoints
+
+    def query(
+        self,
+        side: str,
+        vertex: int | None = None,
+        tau_u: int = 1,
+        tau_l: int = 1,
+        label: str | None = None,
+        deadline: float | None = None,
+        verify: bool = False,
+    ) -> dict:
+        """POST ``/query``; returns the decoded response payload.
+
+        Raises the matching :class:`~repro.serve.service.ServeError`
+        subclass on a non-200 answer.
+        """
+        payload: dict = {"side": side, "tau_u": tau_u, "tau_l": tau_l}
+        if label is not None:
+            payload["label"] = label
+        elif vertex is not None:
+            payload["vertex"] = vertex
+        else:
+            raise InvalidRequestError("provide vertex or label")
+        if deadline is not None:
+            payload["deadline"] = deadline
+        if verify:
+            payload["verify"] = True
+        return self._json("/query", payload)
+
+    def query_get(self, **params) -> dict:
+        """GET ``/query`` with raw query-string parameters."""
+        return self._json("/query?" + urlencode(params))
+
+    def healthz(self) -> bool:
+        status, __ = self._request("/healthz")
+        return status == 200
+
+    def stats(self) -> dict:
+        return self._json("/stats")
+
+    def metrics(self) -> str:
+        status, body = self._request("/metrics")
+        if status != 200:
+            raise RemoteServiceError(f"/metrics answered HTTP {status}")
+        return body.decode()

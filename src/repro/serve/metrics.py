@@ -1,0 +1,278 @@
+"""Dependency-free service metrics: counters, gauges, histograms.
+
+The serving stack needs visibility (request rates, latency
+percentiles, cache behaviour) without pulling in a metrics client.
+This module provides the minimal instrument set the service uses,
+with a Prometheus-style text exposition so ``GET /metrics`` output can
+be scraped or read by a human.
+
+All instruments are thread-safe: the service updates them from many
+worker threads while the HTTP front-end renders them concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Fixed latency buckets (seconds).  Spans sub-millisecond index hits
+#: through multi-second online searches on hub vertices.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _format_labels(labels: dict[str, str] | None) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing counter, optionally labelled.
+
+    One ``Counter`` instance owns every labelled series of a metric
+    name; ``inc(amount, **labels)`` selects the series.
+    """
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help_text = help_text
+        self._lock = threading.Lock()
+        self._series: dict[tuple[tuple[str, str], ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        key = tuple(sorted(labels.items()))
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        key = tuple(sorted(labels.items()))
+        with self._lock:
+            return self._series.get(key, 0.0)
+
+    def total(self) -> float:
+        """Sum over every labelled series."""
+        with self._lock:
+            return sum(self._series.values())
+
+    def collect(self) -> list[str]:
+        lines = []
+        if self.help_text:
+            lines.append(f"# HELP {self.name} {self.help_text}")
+        lines.append(f"# TYPE {self.name} counter")
+        with self._lock:
+            series = sorted(self._series.items())
+        if not series:
+            lines.append(f"{self.name} 0")
+        for key, value in series:
+            lines.append(f"{self.name}{_format_labels(dict(key))} {value:g}")
+        return lines
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, in-flight count)."""
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help_text = help_text
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._fn = None
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    def set_function(self, fn) -> None:
+        """Make the gauge read from a callable at collection time."""
+        self._fn = fn
+
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        with self._lock:
+            return self._value
+
+    def collect(self) -> list[str]:
+        lines = []
+        if self.help_text:
+            lines.append(f"# HELP {self.name} {self.help_text}")
+        lines.append(f"# TYPE {self.name} gauge")
+        lines.append(f"{self.name} {self.value():g}")
+        return lines
+
+
+class Histogram:
+    """A fixed-bucket histogram with quantile estimates.
+
+    Observations are counted into cumulative-style buckets; quantiles
+    are estimated by linear interpolation inside the containing bucket
+    (the classic fixed-bucket estimator), which is accurate enough for
+    p50/p95/p99 dashboards without storing samples.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a non-empty sorted sequence")
+        self.name = name
+        self.help_text = help_text
+        self.buckets = tuple(buckets)
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.buckets) + 1)  # +1 = overflow
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        idx = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 < q <= 1``) in observed units."""
+        if not 0 < q <= 1:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        with self._lock:
+            total = self._count
+            counts = list(self._counts)
+        if total == 0:
+            return 0.0
+        rank = q * total
+        cumulative = 0
+        for idx, bucket_count in enumerate(counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if idx >= len(self.buckets):
+                    # Overflow bucket: no upper edge; report the last edge.
+                    return self.buckets[-1]
+                lower = self.buckets[idx - 1] if idx > 0 else 0.0
+                upper = self.buckets[idx]
+                if bucket_count == 0:
+                    return upper
+                fraction = (rank - previous) / bucket_count
+                return lower + fraction * (upper - lower)
+        return self.buckets[-1]
+
+    def percentiles(self) -> dict[str, float]:
+        """The standard dashboard trio, in observed units."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def collect(self) -> list[str]:
+        lines = []
+        if self.help_text:
+            lines.append(f"# HELP {self.name} {self.help_text}")
+        lines.append(f"# TYPE {self.name} histogram")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            total_sum = self._sum
+        cumulative = 0
+        for edge, bucket_count in zip(self.buckets, counts):
+            cumulative += bucket_count
+            lines.append(f'{self.name}_bucket{{le="{edge:g}"}} {cumulative}')
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {total}')
+        lines.append(f"{self.name}_sum {total_sum:g}")
+        lines.append(f"{self.name}_count {total}")
+        return lines
+
+
+class MetricsRegistry:
+    """A named collection of instruments with text exposition.
+
+    Instruments are created through the registry so ``render()`` can
+    walk them; asking for an existing name returns the same instrument
+    (so modules can share counters without passing references around).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _register(self, name: str, factory, kind):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}"
+                    )
+                return existing
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._register(name, lambda: Counter(name, help_text), Counter)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._register(name, lambda: Gauge(name, help_text), Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._register(
+            name, lambda: Histogram(name, help_text, buckets), Histogram
+        )
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def render(self) -> str:
+        """Prometheus-style text exposition of every instrument."""
+        with self._lock:
+            metrics = [self._metrics[k] for k in sorted(self._metrics)]
+        lines: list[str] = []
+        for metric in metrics:
+            lines.extend(metric.collect())
+        return "\n".join(lines) + "\n"

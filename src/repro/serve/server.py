@@ -1,0 +1,333 @@
+"""A stdlib HTTP/JSON front-end over :class:`PMBCService`.
+
+Endpoints:
+
+- ``GET /query?side=upper&vertex=3&tau_u=2&tau_l=2`` (or POST the same
+  fields as a JSON body; ``label`` may replace ``vertex``, and
+  ``verify=1`` attaches a structural answer certificate from
+  :mod:`repro.core.verify`) — answer a personalized query;
+- ``GET /healthz`` — liveness;
+- ``GET /metrics`` — Prometheus-style text exposition;
+- ``GET /stats`` — JSON service snapshot.
+
+Service errors map to HTTP statuses: invalid request → 400, queue full
+→ 429 (with ``Retry-After``), deadline exceeded → 504, shutting down →
+503, backend exhaustion → 500.  The server is a
+``ThreadingHTTPServer``: each connection gets a thread, but actual
+query work is bounded by the service's queue and worker pool.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.core.verify import check_personalized_answer
+from repro.graph.bipartite import Side
+from repro.serve.service import (
+    InvalidRequestError,
+    PMBCService,
+    QueryResult,
+    QueueFullError,
+    ServeError,
+)
+
+__all__ = ["PMBCRequestHandler", "PMBCServer", "serve_forever"]
+
+
+def _parse_side(raw: str) -> Side:
+    try:
+        return Side(raw.lower())
+    except ValueError:
+        raise InvalidRequestError(
+            f"side must be 'upper' or 'lower', got {raw!r}"
+        ) from None
+
+
+def _parse_int(params: dict, name: str, default: int | None = None) -> int:
+    raw = params.get(name, default)
+    if raw is None:
+        raise InvalidRequestError(f"missing required parameter {name!r}")
+    try:
+        return int(raw)
+    except (TypeError, ValueError):
+        raise InvalidRequestError(
+            f"parameter {name!r} must be an integer, got {raw!r}"
+        ) from None
+
+
+def _parse_float(params: dict, name: str) -> float | None:
+    raw = params.get(name)
+    if raw is None:
+        return None
+    try:
+        return float(raw)
+    except (TypeError, ValueError):
+        raise InvalidRequestError(
+            f"parameter {name!r} must be a number, got {raw!r}"
+        ) from None
+
+
+class PMBCRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the owning server's ``service``."""
+
+    server_version = "pmbc-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # plumbing
+
+    @property
+    def service(self) -> PMBCService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str = "application/json",
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(
+        self,
+        status: int,
+        payload: dict,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        body = json.dumps(payload, indent=2).encode() + b"\n"
+        self._send(status, body, extra_headers=extra_headers)
+
+    def _send_error_json(self, exc: ServeError) -> None:
+        headers = {}
+        if isinstance(exc, QueueFullError):
+            headers["Retry-After"] = "1"
+        self._send_json(
+            exc.http_status,
+            {"error": type(exc).__name__, "detail": str(exc)},
+            extra_headers=headers,
+        )
+
+    # ------------------------------------------------------------------
+    # routing
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        parsed = urlparse(self.path)
+        route = parsed.path.rstrip("/") or "/"
+        if route == "/healthz":
+            self._handle_healthz()
+        elif route == "/metrics":
+            self._handle_metrics()
+        elif route == "/stats":
+            self._handle_stats()
+        elif route == "/query":
+            params = {
+                key: values[-1]
+                for key, values in parse_qs(parsed.query).items()
+            }
+            self._handle_query(params)
+        else:
+            self._send_json(
+                404, {"error": "NotFound", "detail": f"no route {route!r}"}
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        parsed = urlparse(self.path)
+        if parsed.path.rstrip("/") != "/query":
+            self._send_json(
+                404,
+                {"error": "NotFound", "detail": f"no route {parsed.path!r}"},
+            )
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            params = json.loads(raw or b"{}")
+            if not isinstance(params, dict):
+                raise ValueError("body must be a JSON object")
+        except ValueError as exc:
+            self._send_json(
+                400, {"error": "InvalidRequestError", "detail": str(exc)}
+            )
+            return
+        self._handle_query(params)
+
+    # ------------------------------------------------------------------
+    # handlers
+
+    def _handle_healthz(self) -> None:
+        if self.service.healthy():
+            self._send_json(200, {"status": "ok"})
+        else:
+            self._send_json(503, {"status": "unavailable"})
+
+    def _handle_metrics(self) -> None:
+        body = self.service.metrics.render().encode()
+        self._send(200, body, content_type="text/plain; version=0.0.4")
+
+    def _handle_stats(self) -> None:
+        self._send_json(200, self.service.stats())
+
+    def _handle_query(self, params: dict) -> None:
+        service = self.service
+        try:
+            side = _parse_side(str(params.get("side", "")))
+            label = params.get("label")
+            if label is not None:
+                try:
+                    vertex = service.graph.vertex_by_label(side, label)
+                except KeyError:
+                    raise InvalidRequestError(
+                        f"no {side.value} vertex labelled {label!r}"
+                    ) from None
+            else:
+                vertex = _parse_int(params, "vertex")
+            tau_u = _parse_int(params, "tau_u", default=1)
+            tau_l = _parse_int(params, "tau_l", default=1)
+            deadline = _parse_float(params, "deadline")
+            verify = str(params.get("verify", "")).lower() in (
+                "1", "true", "yes",
+            )
+            result = service.query(
+                side, vertex, tau_u, tau_l, deadline=deadline
+            )
+        except ServeError as exc:
+            self._send_error_json(exc)
+            return
+        self._send_json(
+            200, self._render_result(result, side, vertex, tau_u, tau_l, verify)
+        )
+
+    def _render_result(
+        self,
+        result: QueryResult,
+        side: Side,
+        vertex: int,
+        tau_u: int,
+        tau_l: int,
+        verify: bool,
+    ) -> dict:
+        payload: dict = {
+            "query": {
+                "side": side.value,
+                "vertex": vertex,
+                "tau_u": tau_u,
+                "tau_l": tau_l,
+            },
+            "backend": result.backend,
+            "shared": result.shared,
+            "queue_ms": result.queue_seconds * 1e3,
+            "total_ms": result.total_seconds * 1e3,
+        }
+        biclique = result.biclique
+        if biclique is None:
+            payload["result"] = None
+        else:
+            upper_labels, lower_labels = biclique.with_labels(
+                self.service.graph
+            )
+            payload["result"] = {
+                "shape": list(biclique.shape),
+                "edges": biclique.num_edges,
+                "upper": sorted(map(str, upper_labels)),
+                "lower": sorted(map(str, lower_labels)),
+            }
+        if verify:
+            check = check_personalized_answer(
+                self.service.graph, side, vertex, tau_u, tau_l, biclique
+            )
+            payload["verified"] = {
+                "valid": check.valid,
+                "reasons": list(check.reasons),
+            }
+        return payload
+
+
+class PMBCServer:
+    """Owns a :class:`ThreadingHTTPServer` bound to a service.
+
+    ``port=0`` picks a free port (useful in tests); read the bound
+    address from :attr:`address`.  Use :meth:`start` for a background
+    thread or :meth:`serve_forever` to block.
+    """
+
+    def __init__(
+        self,
+        service: PMBCService,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service
+        self._httpd = ThreadingHTTPServer((host, port), PMBCRequestHandler)
+        self._httpd.service = service  # type: ignore[attr-defined]
+        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> PMBCServer:
+        """Serve in a daemon thread; returns once the socket is live."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="pmbc-serve-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop the HTTP loop and close the underlying service."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.service.close()
+
+    def __enter__(self) -> PMBCServer:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def serve_forever(
+    service: PMBCService,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    verbose: bool = False,
+) -> None:
+    """Convenience: run a server in the foreground until interrupted."""
+    server = PMBCServer(service, host=host, port=port, verbose=verbose)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()

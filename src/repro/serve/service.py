@@ -1,0 +1,648 @@
+"""The query-serving service: queueing, workers, deadlines, fallback.
+
+:class:`PMBCService` turns the in-process query stack
+(:func:`~repro.core.query.pmbc_index_query`,
+:class:`~repro.core.engine.PMBCQueryEngine`,
+:func:`~repro.core.online.pmbc_online_star`) into a shared service
+suitable for heavy concurrent traffic:
+
+- a **bounded request queue** with admission control — when the queue
+  is full new requests are rejected immediately
+  (:class:`QueueFullError`, the HTTP front-end maps it to 429) instead
+  of building an unbounded backlog;
+- a **worker pool** draining the queue, so one shared engine (and its
+  two-hop LRU) serves every caller;
+- **per-request deadlines** with cooperative timeout: expired requests
+  are dropped at dequeue time without touching the backend, and
+  waiting callers get :class:`DeadlineExceededError` as soon as their
+  budget runs out even if a worker is still computing;
+- **single-flight deduplication** of identical concurrent
+  ``(side, vertex, tau_u, tau_l)`` requests (see
+  :mod:`repro.serve.singleflight`);
+- **graceful degradation** across backends: index → caching engine →
+  plain online search, falling through on unexpected backend failure;
+- **metrics** for all of the above (see :mod:`repro.serve.metrics`).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, InvalidStateError
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+
+from repro.core.engine import PMBCQueryEngine
+from repro.core.index import PMBCIndex
+from repro.core.online import pmbc_online_star
+from repro.core.query import pmbc_index_query
+from repro.core.result import Biclique
+from repro.graph.bipartite import BipartiteGraph, Side
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.singleflight import SingleFlight, SingleFlightTimeout
+
+__all__ = [
+    "PMBCService",
+    "ServiceConfig",
+    "QueryResult",
+    "ServeError",
+    "InvalidRequestError",
+    "QueueFullError",
+    "DeadlineExceededError",
+    "ServiceClosedError",
+    "BackendError",
+]
+
+
+class ServeError(Exception):
+    """Base class for service-level failures."""
+
+    #: HTTP status the front-end reports for this error class.
+    http_status = 500
+
+
+class InvalidRequestError(ServeError):
+    """Malformed request: unknown side, vertex out of range, bad taus."""
+
+    http_status = 400
+
+
+class QueueFullError(ServeError):
+    """Admission control rejected the request (queue at capacity)."""
+
+    http_status = 429
+
+
+class DeadlineExceededError(ServeError):
+    """The request's deadline expired before an answer was produced."""
+
+    http_status = 504
+
+
+class ServiceClosedError(ServeError):
+    """The service is shut down (or shutting down)."""
+
+    http_status = 503
+
+
+class BackendError(ServeError):
+    """Every backend in the degradation chain failed."""
+
+    http_status = 500
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables for :class:`PMBCService`.
+
+    Attributes
+    ----------
+    num_workers:
+        Size of the worker thread pool.
+    max_queue:
+        Bound on queued (admitted, not yet running) requests; beyond
+        it new requests fail with :class:`QueueFullError`.
+    default_deadline:
+        Per-request budget in seconds applied when the caller gives
+        none; ``None`` disables the default (requests wait forever).
+    cache_size:
+        LRU capacity of the shared :class:`PMBCQueryEngine`.
+    use_core_bounds:
+        Precompute (α,β)-core bounds for the engine/online fallbacks
+        (PMBC-OL* mode).  Disable for faster startup on huge graphs.
+    """
+
+    num_workers: int = 8
+    max_queue: int = 64
+    default_deadline: float | None = 30.0
+    cache_size: int = 256
+    use_core_bounds: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise ValueError(
+                f"default_deadline must be positive, got {self.default_deadline}"
+            )
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """A served answer plus serving metadata."""
+
+    biclique: Biclique | None
+    backend: str
+    shared: bool            # single-flight collapsed this request
+    queue_seconds: float    # admission -> worker pickup
+    total_seconds: float    # admission -> answer
+
+
+@dataclass
+class _Request:
+    side: Side
+    vertex: int
+    tau_u: int
+    tau_l: int
+    deadline: float | None          # absolute, time.monotonic() clock
+    enqueued_at: float
+    future: Future = field(default_factory=Future)
+
+    @property
+    def key(self) -> tuple[Side, int, int, int]:
+        return (self.side, self.vertex, self.tau_u, self.tau_l)
+
+    def remaining(self, now: float) -> float | None:
+        return None if self.deadline is None else self.deadline - now
+
+
+class _IndexBackend:
+    """PMBC-IQ over a prebuilt index: the O(deg(q)+|C|) fast path."""
+
+    name = "index"
+
+    def __init__(self, index: PMBCIndex) -> None:
+        self._index = index
+
+    def query(
+        self, side: Side, vertex: int, tau_u: int, tau_l: int
+    ) -> Biclique | None:
+        return pmbc_index_query(self._index, side, vertex, tau_u, tau_l)
+
+
+class _EngineBackend:
+    """The shared caching engine (PMBC-OL* + two-hop LRU)."""
+
+    name = "engine"
+
+    def __init__(self, engine: PMBCQueryEngine) -> None:
+        self.engine = engine
+
+    def query(
+        self, side: Side, vertex: int, tau_u: int, tau_l: int
+    ) -> Biclique | None:
+        return self.engine.query(side, vertex, tau_u, tau_l)
+
+
+class _OnlineBackend:
+    """Stateless PMBC-OL*: the last-resort fallback."""
+
+    name = "online"
+
+    def __init__(self, graph: BipartiteGraph) -> None:
+        self._graph = graph
+
+    def query(
+        self, side: Side, vertex: int, tau_u: int, tau_l: int
+    ) -> Biclique | None:
+        return pmbc_online_star(self._graph, side, vertex, tau_u, tau_l)
+
+
+class PMBCService:
+    """A shared, instrumented personalized-biclique query service.
+
+    Parameters
+    ----------
+    graph:
+        The bipartite graph to serve.
+    index:
+        Optional prebuilt :class:`PMBCIndex`; when given it is the
+        primary backend, with the engine and online search as
+        fallbacks.  Without it the caching engine is primary.
+    config:
+        Service tunables (see :class:`ServiceConfig`).
+    metrics:
+        Optional shared registry; a fresh one is created by default.
+
+    Use as a context manager, or call :meth:`start` / :meth:`close`::
+
+        with PMBCService(graph, index=index) as service:
+            result = service.query(Side.UPPER, 3, tau_u=2, tau_l=2)
+    """
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        index: PMBCIndex | None = None,
+        config: ServiceConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.graph = graph
+        self.metrics = metrics or MetricsRegistry()
+        self.engine = PMBCQueryEngine(
+            graph,
+            use_core_bounds=self.config.use_core_bounds,
+            cache_size=self.config.cache_size,
+        )
+        self._backends: list[object] = []
+        if index is not None:
+            self._backends.append(_IndexBackend(index))
+        self._backends.append(_EngineBackend(self.engine))
+        self._backends.append(_OnlineBackend(graph))
+
+        self._queue: queue.Queue[_Request | None] = queue.Queue(
+            maxsize=self.config.max_queue
+        )
+        self._flight = SingleFlight()
+        self._workers: list[threading.Thread] = []
+        self._closed = False
+        self._lifecycle_lock = threading.Lock()
+        self._started_at = time.monotonic()
+        self._init_metrics()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def start(self) -> PMBCService:
+        """Spin up the worker pool (idempotent)."""
+        with self._lifecycle_lock:
+            if self._closed:
+                raise ServiceClosedError("service already closed")
+            if self._workers:
+                return self
+            for i in range(self.config.num_workers):
+                worker = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"pmbc-serve-worker-{i}",
+                    daemon=True,
+                )
+                worker.start()
+                self._workers.append(worker)
+        return self
+
+    def close(self, wait: bool = True) -> None:
+        """Stop admitting requests and shut the worker pool down.
+
+        Queued requests are drained and failed with
+        :class:`ServiceClosedError`; in-flight computations finish.
+        """
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers)
+        # Fail whatever is still queued, then poison the workers.
+        self._drain_queue()
+        for __ in workers:
+            self._queue.put(None)
+        if wait:
+            for worker in workers:
+                worker.join()
+            # A request admitted in the race window between the closed
+            # check and the drain would otherwise hang its caller.
+            self._drain_queue()
+
+    def _drain_queue(self) -> None:
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if request is not None:
+                self._settle(
+                    request,
+                    "closed",
+                    error=ServiceClosedError("service shut down"),
+                )
+
+    def __enter__(self) -> PMBCService:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # metrics plumbing
+
+    def _init_metrics(self) -> None:
+        m = self.metrics
+        self._requests = m.counter(
+            "pmbc_requests_total", "Requests by terminal status."
+        )
+        self._latency = m.histogram(
+            "pmbc_request_latency_seconds",
+            "End-to-end latency of successful requests.",
+        )
+        self._queue_wait = m.histogram(
+            "pmbc_queue_wait_seconds",
+            "Time between admission and worker pickup.",
+        )
+        self._backend_queries = m.counter(
+            "pmbc_backend_queries_total", "Backend invocations by backend."
+        )
+        self._fallbacks = m.counter(
+            "pmbc_backend_fallbacks_total",
+            "Degradations from a failing backend to the next one.",
+        )
+        self._sf_leaders = m.counter(
+            "pmbc_singleflight_leaders_total",
+            "Requests that actually ran a computation.",
+        )
+        self._sf_shared = m.counter(
+            "pmbc_singleflight_shared_total",
+            "Requests whose computation was shared via single-flight.",
+        )
+        depth = m.gauge("pmbc_queue_depth", "Requests waiting in the queue.")
+        depth.set_function(self._queue.qsize)
+        self._inflight = m.gauge(
+            "pmbc_inflight_requests", "Requests admitted but not finished."
+        )
+        workers_gauge = m.gauge("pmbc_workers", "Worker pool size.")
+        workers_gauge.set_function(lambda: len(self._workers))
+        for name, reader in (
+            ("pmbc_engine_cache_hits", lambda: self.engine.cache_stats().hits),
+            (
+                "pmbc_engine_cache_misses",
+                lambda: self.engine.cache_stats().misses,
+            ),
+            (
+                "pmbc_engine_cache_evictions",
+                lambda: self.engine.cache_stats().evictions,
+            ),
+            (
+                "pmbc_engine_cache_size",
+                lambda: self.engine.cache_stats().size,
+            ),
+        ):
+            m.gauge(name, "Shared engine two-hop LRU.").set_function(reader)
+
+    def _finish(self, status: str) -> None:
+        self._requests.inc(status=status)
+        self._inflight.dec()
+
+    def _settle(
+        self,
+        request: _Request,
+        status: str,
+        result: QueryResult | None = None,
+        error: Exception | None = None,
+    ) -> bool:
+        """Resolve a request's future exactly once.
+
+        The future is the arbiter between the worker and a caller whose
+        deadline fired: whichever side settles first does the terminal
+        accounting, the loser backs off.  Returns True for the winner.
+        """
+        try:
+            if error is not None:
+                request.future.set_exception(error)
+            else:
+                request.future.set_result(result)
+        except InvalidStateError:
+            return False
+        self._finish(status)
+        return True
+
+    # ------------------------------------------------------------------
+    # request path
+
+    def _validate(
+        self, side: Side, vertex: int, tau_u: int, tau_l: int
+    ) -> None:
+        if not isinstance(side, Side):
+            raise InvalidRequestError(f"side must be a Side, got {side!r}")
+        if tau_u < 1 or tau_l < 1:
+            raise InvalidRequestError(
+                f"size constraints must be >= 1, got ({tau_u}, {tau_l})"
+            )
+        if not 0 <= vertex < self.graph.num_vertices_on(side):
+            raise InvalidRequestError(
+                f"vertex {vertex} out of range for the {side.value} layer"
+            )
+
+    def submit(
+        self,
+        side: Side,
+        vertex: int,
+        tau_u: int = 1,
+        tau_l: int = 1,
+        deadline: float | None = None,
+    ) -> Future:
+        """Admit a request; the Future resolves to a :class:`QueryResult`.
+
+        Raises immediately on invalid input, a full queue, or a closed
+        service — admission failures never consume a queue slot.
+        """
+        return self._admit(side, vertex, tau_u, tau_l, deadline).future
+
+    def _admit(
+        self,
+        side: Side,
+        vertex: int,
+        tau_u: int,
+        tau_l: int,
+        deadline: float | None,
+    ) -> _Request:
+        if self._closed:
+            self._requests.inc(status="closed")
+            raise ServiceClosedError("service is closed")
+        if not self._workers:
+            raise ServiceClosedError("service not started (call start())")
+        try:
+            self._validate(side, vertex, tau_u, tau_l)
+        except InvalidRequestError:
+            self._requests.inc(status="invalid")
+            raise
+        budget = self.config.default_deadline if deadline is None else deadline
+        if budget is not None and budget <= 0:
+            self._requests.inc(status="invalid")
+            raise InvalidRequestError(
+                f"deadline must be positive, got {budget}"
+            )
+        now = time.monotonic()
+        request = _Request(
+            side=side,
+            vertex=vertex,
+            tau_u=tau_u,
+            tau_l=tau_l,
+            deadline=None if budget is None else now + budget,
+            enqueued_at=now,
+        )
+        self._inflight.inc()
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            self._finish("queue_full")
+            raise QueueFullError(
+                f"request queue full ({self.config.max_queue} waiting)"
+            ) from None
+        return request
+
+    def query(
+        self,
+        side: Side,
+        vertex: int,
+        tau_u: int = 1,
+        tau_l: int = 1,
+        deadline: float | None = None,
+    ) -> QueryResult:
+        """Admit a request and block for its answer.
+
+        The call returns (or raises :class:`DeadlineExceededError`)
+        within the request's deadline budget even when a worker is
+        still computing — the abandoned computation finishes in the
+        background and only warms the cache.
+        """
+        request = self._admit(side, vertex, tau_u, tau_l, deadline)
+        budget = self.config.default_deadline if deadline is None else deadline
+        try:
+            return request.future.result(timeout=budget)
+        except FutureTimeoutError:
+            error = DeadlineExceededError(f"no answer within {budget}s")
+            if self._settle(request, "deadline_exceeded", error=error):
+                raise error from None
+            # The worker settled in the same instant; take its outcome.
+            return request.future.result()
+
+    # ------------------------------------------------------------------
+    # worker side
+
+    def _worker_loop(self) -> None:
+        while True:
+            request = self._queue.get()
+            if request is None:  # poison pill
+                return
+            self._serve_one(request)
+
+    def _serve_one(self, request: _Request) -> None:
+        if request.future.done():
+            # The caller's deadline fired while the request was queued;
+            # terminal accounting already happened on that side.
+            return
+        now = time.monotonic()
+        queue_seconds = now - request.enqueued_at
+        self._queue_wait.observe(queue_seconds)
+        remaining = request.remaining(now)
+        if remaining is not None and remaining <= 0:
+            self._settle(
+                request,
+                "deadline_exceeded",
+                error=DeadlineExceededError("deadline expired in queue"),
+            )
+            return
+        try:
+            flight = self._flight.do(
+                request.key,
+                lambda: self._query_backends(request),
+                timeout=remaining,
+            )
+        except SingleFlightTimeout:
+            self._settle(
+                request,
+                "deadline_exceeded",
+                error=DeadlineExceededError("deadline expired awaiting flight"),
+            )
+            return
+        except ServeError as exc:
+            self._settle(request, "error", error=exc)
+            return
+        except Exception as exc:  # defensive: never kill a worker
+            self._settle(request, "error", error=BackendError(str(exc)))
+            return
+        if flight.leader:
+            self._sf_leaders.inc()
+        if flight.shared:
+            self._sf_shared.inc()
+        biclique, backend_name = flight.value
+        total = time.monotonic() - request.enqueued_at
+        result = QueryResult(
+            biclique=biclique,
+            backend=backend_name,
+            shared=flight.shared and not flight.leader,
+            queue_seconds=queue_seconds,
+            total_seconds=total,
+        )
+        if self._settle(
+            request, "ok" if biclique is not None else "empty", result=result
+        ):
+            self._latency.observe(total)
+
+    def _query_backends(
+        self, request: _Request
+    ) -> tuple[Biclique | None, str]:
+        """Walk the degradation chain; return (answer, backend name)."""
+        last_error: Exception | None = None
+        for position, backend in enumerate(self._backends):
+            self._backend_queries.inc(backend=backend.name)
+            try:
+                answer = backend.query(
+                    request.side, request.vertex, request.tau_u, request.tau_l
+                )
+                return answer, backend.name
+            except Exception as exc:
+                last_error = exc
+                nxt = self._backends[position + 1].name \
+                    if position + 1 < len(self._backends) else "none"
+                self._fallbacks.inc(**{"from": backend.name, "to": nxt})
+        raise BackendError(
+            f"all {len(self._backends)} backends failed "
+            f"(last: {last_error!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    @property
+    def backend_names(self) -> tuple[str, ...]:
+        return tuple(b.name for b in self._backends)
+
+    def healthy(self) -> bool:
+        return bool(self._workers) and not self._closed
+
+    def stats(self) -> dict:
+        """A JSON-friendly snapshot for ``/stats`` and dashboards."""
+        cache = self.engine.cache_stats()
+        return {
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "healthy": self.healthy(),
+            "workers": len(self._workers),
+            "queue": {
+                "depth": self._queue.qsize(),
+                "capacity": self.config.max_queue,
+            },
+            "backends": list(self.backend_names),
+            "requests": {
+                "ok": self._requests.value(status="ok"),
+                "empty": self._requests.value(status="empty"),
+                "invalid": self._requests.value(status="invalid"),
+                "queue_full": self._requests.value(status="queue_full"),
+                "deadline_exceeded": self._requests.value(
+                    status="deadline_exceeded"
+                ),
+                "error": self._requests.value(status="error"),
+                "closed": self._requests.value(status="closed"),
+            },
+            "latency_seconds": {
+                "count": self._latency.count,
+                "mean": self._latency.mean(),
+                **self._latency.percentiles(),
+            },
+            "queue_wait_seconds": {
+                "count": self._queue_wait.count,
+                "mean": self._queue_wait.mean(),
+                **self._queue_wait.percentiles(),
+            },
+            "singleflight": {
+                "leaders": self._sf_leaders.total(),
+                "shared": self._sf_shared.total(),
+                "in_flight": self._flight.in_flight(),
+            },
+            "engine_cache": {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "evictions": cache.evictions,
+                "size": cache.size,
+                "capacity": cache.capacity,
+                "hit_rate": cache.hit_rate,
+            },
+        }

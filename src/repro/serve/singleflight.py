@@ -1,0 +1,126 @@
+"""In-flight request deduplication (single-flight).
+
+Personalized-biclique traffic is heavily skewed: hub vertices are
+queried orders of magnitude more often than the tail (the paper's own
+workload samples queries from the top-degree pool).  When several
+identical ``(side, vertex, tau_u, tau_l)`` requests are in flight at
+once, computing the answer once and handing it to every waiter both
+cuts latency and protects the backend from redundant hub-subgraph
+extractions.
+
+The pattern follows Go's ``golang.org/x/sync/singleflight``: the first
+caller for a key becomes the *leader* and runs the function; callers
+arriving before the leader finishes become *followers* and block on
+the shared call.  Exceptions propagate to every waiter.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Hashable
+
+__all__ = ["SingleFlight", "FlightResult", "SingleFlightTimeout"]
+
+
+class _Call:
+    """One in-flight computation shared by a leader and its followers."""
+
+    __slots__ = ("event", "value", "error", "waiters")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+        self.waiters = 1  # the leader
+
+
+class FlightResult:
+    """Outcome of :meth:`SingleFlight.do`.
+
+    Attributes
+    ----------
+    value:
+        The function's return value.
+    shared:
+        True when this caller received a result computed by (or also
+        handed to) another caller — i.e. deduplication happened.
+    leader:
+        True when this caller actually ran the function.
+    """
+
+    __slots__ = ("value", "shared", "leader")
+
+    def __init__(self, value: Any, shared: bool, leader: bool) -> None:
+        self.value = value
+        self.shared = shared
+        self.leader = leader
+
+
+class SingleFlightTimeout(Exception):
+    """A follower's wait exceeded its timeout (the flight continues)."""
+
+
+class SingleFlight:
+    """Deduplicate concurrent calls with identical keys.
+
+    Thread-safe.  Completed flights are forgotten immediately, so a key
+    re-requested after its flight lands recomputes fresh (this is
+    request-collapsing, not a cache — pair it with the engine's LRU for
+    cross-request reuse).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._calls: dict[Hashable, _Call] = {}
+
+    def in_flight(self) -> int:
+        """Number of distinct keys currently being computed."""
+        with self._lock:
+            return len(self._calls)
+
+    def do(
+        self,
+        key: Hashable,
+        fn: Callable[[], Any],
+        timeout: float | None = None,
+    ) -> FlightResult:
+        """Run ``fn`` once per concurrent set of callers with ``key``.
+
+        The leader executes ``fn``; followers block until it finishes
+        (up to ``timeout`` seconds, raising :class:`SingleFlightTimeout`
+        on expiry — the leader keeps running).  If ``fn`` raises, the
+        exception is re-raised in the leader and every follower.
+        """
+        with self._lock:
+            call = self._calls.get(key)
+            if call is not None:
+                call.waiters += 1
+                is_leader = False
+            else:
+                call = _Call()
+                self._calls[key] = call
+                is_leader = True
+
+        if is_leader:
+            shared_with_followers = False
+            try:
+                call.value = fn()
+            except BaseException as exc:  # propagate to every waiter
+                call.error = exc
+                raise
+            finally:
+                with self._lock:
+                    self._calls.pop(key, None)
+                    shared_with_followers = call.waiters > 1
+                call.event.set()
+            return FlightResult(
+                call.value, shared=shared_with_followers, leader=True
+            )
+
+        if not call.event.wait(timeout):
+            raise SingleFlightTimeout(
+                f"timed out after {timeout}s waiting on flight {key!r}"
+            )
+        if call.error is not None:
+            raise call.error
+        return FlightResult(call.value, shared=True, leader=False)

@@ -70,6 +70,29 @@ def test_uniform_queries(medium_planted_graph):
         uniform_queries(medium_planted_graph, num_queries=0)
 
 
+def test_zipf_queries_skew_and_determinism(medium_planted_graph):
+    from repro.bench.workloads import zipf_queries
+
+    graph = medium_planted_graph
+    stream = zipf_queries(graph, num_queries=300, exponent=1.2, seed=5)
+    assert len(stream) == 300
+    # A stream, not a sample: repeats must occur at this skew.
+    assert len(set(stream)) < len(stream)
+    for side, v in stream:
+        assert graph.degree(side, v) > 0
+    assert stream == zipf_queries(graph, num_queries=300, exponent=1.2, seed=5)
+    # Heavier exponent concentrates more mass on the top vertex.
+    from collections import Counter
+
+    flat = Counter(zipf_queries(graph, 300, exponent=0.5, seed=5))
+    steep = Counter(zipf_queries(graph, 300, exponent=2.5, seed=5))
+    assert steep.most_common(1)[0][1] > flat.most_common(1)[0][1]
+    with pytest.raises(ValueError):
+        zipf_queries(graph, num_queries=0)
+    with pytest.raises(ValueError):
+        zipf_queries(graph, exponent=0)
+
+
 def test_low_degree_queries(medium_planted_graph):
     from repro.bench.workloads import low_degree_queries, top_degree_queries
 

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core import (
     build_index,
     build_index_star,
@@ -12,7 +10,7 @@ from repro.core import (
 )
 from repro.core.construction import vertex_constraint_limits
 from repro.graph.bipartite import Side
-from repro.graph.generators import random_bipartite, star
+from repro.graph.generators import star
 
 
 def test_vertex_constraint_limits(paper_graph):

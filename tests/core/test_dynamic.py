@@ -9,7 +9,7 @@ import pytest
 from repro.core import build_index_star, pmbc_index_query
 from repro.core.dynamic import DynamicPMBCIndex
 from repro.graph.bipartite import BipartiteGraph, Side
-from repro.graph.generators import paper_example_graph, random_bipartite
+from repro.graph.generators import random_bipartite
 from repro.mbc.oracle import personalized_max_brute
 
 

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core import Biclique, build_index_star
 from repro.core.index import (
     BicliqueArray,

@@ -2,13 +2,10 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core import Biclique, pmbc_online
 from repro.core.online import _seed_to_local
 from repro.corenum.bounds import compute_bounds
 from repro.graph.bipartite import BipartiteGraph, Side
-from repro.graph.generators import paper_example_graph
 from repro.graph.subgraph import two_hop_subgraph
 from repro.mbc.progressive import SearchOptions, maximum_biclique_local
 

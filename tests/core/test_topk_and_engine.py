@@ -114,3 +114,72 @@ def test_engine_validation(paper_graph):
         engine.query(Side.UPPER, 99)
     with pytest.raises(ValueError):
         engine.query(Side.UPPER, 0, 0, 1)
+
+
+def test_engine_cache_stats_snapshot():
+    from repro.core import CacheStats
+
+    graph = random_bipartite(6, 6, 0.5, seed=1)
+    engine = PMBCQueryEngine(graph, cache_size=2)
+    engine.query(Side.UPPER, 0)
+    engine.query(Side.UPPER, 1)
+    engine.query(Side.UPPER, 2)  # evicts vertex 0
+    engine.query(Side.UPPER, 2)  # hit
+    stats = engine.cache_stats()
+    assert isinstance(stats, CacheStats)
+    assert stats.hits == 1
+    assert stats.misses == 3
+    assert stats.evictions == 1
+    assert stats.size == 2
+    assert stats.capacity == 2
+    assert stats.hit_rate == pytest.approx(0.25)
+    assert CacheStats(0, 0, 0, 0, 2).hit_rate == 0.0
+
+
+def test_engine_clear_cache_keeps_counters(paper_graph):
+    engine = PMBCQueryEngine(paper_graph)
+    engine.query(Side.UPPER, 0)
+    engine.clear_cache()
+    stats = engine.cache_stats()
+    assert stats.size == 0
+    assert stats.misses == 1
+    engine.query(Side.UPPER, 0)  # re-extracts after clear
+    assert engine.cache_misses == 2
+
+
+def test_engine_thread_safe_under_concurrent_queries(paper_graph):
+    import threading
+
+    engine = PMBCQueryEngine(paper_graph, cache_size=3)
+    expected = {
+        (side, q): pmbc_online(paper_graph, side, q, 1, 1)
+        for side in Side
+        for q in range(paper_graph.num_vertices_on(side))
+    }
+    errors: list[BaseException] = []
+
+    def worker(offset: int) -> None:
+        keys = list(expected)
+        keys = keys[offset:] + keys[:offset]
+        try:
+            for __ in range(5):
+                for side, q in keys:
+                    got = engine.query(side, q, 1, 1)
+                    reference = expected[(side, q)]
+                    assert (got.num_edges if got else 0) == (
+                        reference.num_edges if reference else 0
+                    )
+        except BaseException as exc:  # pragma: no cover - diagnostic
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(i * 3,)) for i in range(8)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    stats = engine.cache_stats()
+    assert stats.size <= 3
+    assert stats.hits + stats.misses == 8 * 5 * len(expected)

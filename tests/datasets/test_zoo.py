@@ -11,7 +11,6 @@ from repro.datasets.zoo import (
     scalability_dataset_names,
     spec,
 )
-from repro.graph.bipartite import Side
 
 
 def test_ten_datasets_in_paper_order():

@@ -5,10 +5,10 @@ from __future__ import annotations
 import pytest
 
 from repro.corenum.bounds import compute_bounds
-from repro.graph.bipartite import BipartiteGraph, Side
+from repro.graph.bipartite import Side
 from repro.graph.generators import complete_bipartite, random_bipartite
 from repro.graph.subgraph import two_hop_subgraph
-from repro.mbc.oracle import max_biclique_brute, personalized_max_brute
+from repro.mbc.oracle import personalized_max_brute
 from repro.mbc.progressive import SearchOptions, maximum_biclique_local
 
 

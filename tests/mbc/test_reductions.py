@@ -6,7 +6,6 @@ from repro.graph.bipartite import Side
 from repro.graph.subgraph import two_hop_subgraph
 from repro.mbc.oracle import max_biclique_brute
 from repro.mbc.reductions import reduce_preserving_maximum
-from repro.graph.generators import random_bipartite
 
 
 def _as_local(graph, q=0):

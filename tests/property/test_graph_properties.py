@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from hypothesis import given, settings, strategies as st
 
-from repro.graph.bipartite import BipartiteGraph, Side
+from repro.graph.bipartite import Side
 from repro.graph.builders import from_edges
 from repro.graph.subgraph import two_hop_subgraph
 

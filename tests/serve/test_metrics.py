@@ -1,0 +1,123 @@
+"""Unit tests for the dependency-free metrics instruments."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_labels_and_total():
+    counter = Counter("requests_total")
+    counter.inc(status="ok")
+    counter.inc(status="ok")
+    counter.inc(3, status="error")
+    assert counter.value(status="ok") == 2
+    assert counter.value(status="error") == 3
+    assert counter.value(status="missing") == 0
+    assert counter.total() == 5
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter("c").inc(-1)
+
+
+def test_counter_exposition_format():
+    counter = Counter("reqs", "Requests.")
+    counter.inc(status="ok")
+    lines = counter.collect()
+    assert "# HELP reqs Requests." in lines
+    assert "# TYPE reqs counter" in lines
+    assert 'reqs{status="ok"} 1' in lines
+
+
+def test_gauge_set_inc_dec_and_function():
+    gauge = Gauge("depth")
+    gauge.set(5)
+    gauge.inc()
+    gauge.dec(2)
+    assert gauge.value() == 4
+    gauge.set_function(lambda: 42)
+    assert gauge.value() == 42
+    assert "depth 42" in gauge.collect()
+
+
+def test_histogram_quantiles_bracket_observations():
+    hist = Histogram("lat", buckets=(0.01, 0.1, 1.0))
+    for __ in range(90):
+        hist.observe(0.005)  # first bucket
+    for __ in range(10):
+        hist.observe(0.5)  # third bucket
+    assert hist.count == 100
+    assert hist.quantile(0.5) <= 0.01
+    p99 = hist.quantile(0.99)
+    assert 0.1 <= p99 <= 1.0
+    trio = hist.percentiles()
+    assert set(trio) == {"p50", "p95", "p99"}
+    assert trio["p50"] <= trio["p95"] <= trio["p99"]
+
+
+def test_histogram_overflow_and_empty():
+    hist = Histogram("lat", buckets=(0.01, 0.1))
+    assert hist.quantile(0.5) == 0.0
+    hist.observe(5.0)  # beyond the last edge
+    assert hist.quantile(0.99) == 0.1  # clamped to the last edge
+    assert hist.count == 1
+    assert hist.sum == 5.0
+
+
+def test_histogram_rejects_bad_buckets_and_quantiles():
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=())
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=(1.0, 0.5))
+    hist = Histogram("h", buckets=(1.0,))
+    with pytest.raises(ValueError):
+        hist.quantile(0.0)
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+
+
+def test_histogram_thread_safety():
+    hist = Histogram("lat", buckets=(0.5,))
+    threads = [
+        threading.Thread(
+            target=lambda: [hist.observe(0.1) for __ in range(1000)]
+        )
+        for __ in range(8)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert hist.count == 8000
+
+
+def test_registry_shares_instruments_and_renders():
+    registry = MetricsRegistry()
+    a = registry.counter("x_total", "X.")
+    b = registry.counter("x_total")
+    assert a is b
+    registry.gauge("g").set(1)
+    registry.histogram("h", buckets=(1.0,)).observe(0.2)
+    text = registry.render()
+    assert "# TYPE x_total counter" in text
+    assert "# TYPE g gauge" in text
+    assert "# TYPE h histogram" in text
+    assert 'h_bucket{le="+Inf"} 1' in text
+    assert text.endswith("\n")
+
+
+def test_registry_rejects_kind_mismatch():
+    registry = MetricsRegistry()
+    registry.counter("m")
+    with pytest.raises(ValueError):
+        registry.gauge("m")

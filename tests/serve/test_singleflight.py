@@ -1,0 +1,131 @@
+"""Unit tests for in-flight request deduplication."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.singleflight import SingleFlight, SingleFlightTimeout
+
+
+def test_single_caller_is_leader_not_shared():
+    flight = SingleFlight()
+    result = flight.do("k", lambda: 42)
+    assert result.value == 42
+    assert result.leader
+    assert not result.shared
+    assert flight.in_flight() == 0
+
+
+def test_concurrent_identical_keys_compute_once():
+    flight = SingleFlight()
+    calls = []
+    release = threading.Event()
+    started = threading.Event()
+
+    def compute():
+        calls.append(1)
+        started.set()
+        release.wait(5)
+        return "answer"
+
+    results = []
+    errors = []
+
+    def worker():
+        try:
+            results.append(flight.do("k", compute))
+        except BaseException as exc:  # pragma: no cover - diagnostic
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for __ in range(8)]
+    threads[0].start()
+    assert started.wait(5)  # the leader is inside compute()
+    for t in threads[1:]:
+        t.start()
+    # Give followers a moment to join the flight, then release.
+    deadline = time.monotonic() + 5
+    while flight.in_flight() == 0 and time.monotonic() < deadline:
+        time.sleep(0.001)
+    time.sleep(0.05)
+    release.set()
+    for t in threads:
+        t.join(5)
+    assert not errors
+    assert len(calls) == 1  # the backend ran exactly once
+    assert len(results) == 8
+    assert all(r.value == "answer" for r in results)
+    leaders = [r for r in results if r.leader]
+    assert len(leaders) == 1
+    assert leaders[0].shared  # it handed its answer to followers
+    assert all(r.shared for r in results if not r.leader)
+
+
+def test_sequential_calls_recompute():
+    flight = SingleFlight()
+    calls = []
+    for __ in range(3):
+        flight.do("k", lambda: calls.append(1))
+    assert len(calls) == 3  # collapsing, not caching
+
+
+def test_distinct_keys_do_not_collapse():
+    flight = SingleFlight()
+    assert flight.do("a", lambda: 1).value == 1
+    assert flight.do("b", lambda: 2).value == 2
+
+
+def test_exception_propagates_to_leader_and_followers():
+    flight = SingleFlight()
+    release = threading.Event()
+    started = threading.Event()
+
+    def boom():
+        started.set()
+        release.wait(5)
+        raise RuntimeError("backend down")
+
+    outcomes = []
+
+    def worker():
+        try:
+            flight.do("k", boom)
+            outcomes.append("ok")
+        except RuntimeError:
+            outcomes.append("raised")
+
+    threads = [threading.Thread(target=worker) for __ in range(4)]
+    threads[0].start()
+    assert started.wait(5)
+    for t in threads[1:]:
+        t.start()
+    time.sleep(0.05)
+    release.set()
+    for t in threads:
+        t.join(5)
+    assert outcomes == ["raised"] * 4
+
+
+def test_follower_timeout_leaves_flight_running():
+    flight = SingleFlight()
+    release = threading.Event()
+    started = threading.Event()
+    leader_result = []
+
+    def slow():
+        started.set()
+        release.wait(5)
+        return "late"
+
+    leader = threading.Thread(
+        target=lambda: leader_result.append(flight.do("k", slow))
+    )
+    leader.start()
+    assert started.wait(5)
+    with pytest.raises(SingleFlightTimeout):
+        flight.do("k", slow, timeout=0.01)
+    release.set()
+    leader.join(5)
+    assert leader_result and leader_result[0].value == "late"

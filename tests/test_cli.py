@@ -162,6 +162,74 @@ def test_datasets_stats_flag(capsys):
     assert "deg_U" in out and "hub%" in out
 
 
+def test_query_missing_index_file_clean_error(edges_file, capsys):
+    code = main(
+        [
+            "query", edges_file, "--index", "/no/such/index.bin",
+            "--side", "upper", "--vertex", "0",
+        ]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "index.bin" in err
+    assert "Traceback" not in err
+
+
+def test_query_corrupt_binary_index_clean_error(edges_file, tmp_path, capsys):
+    from repro.core.serialize import MAGIC
+
+    path = tmp_path / "index.bin"
+    path.write_bytes(MAGIC + b"\x01\x02")  # sniffs binary, then truncated
+    code = main(
+        [
+            "query", edges_file, "--index", str(path),
+            "--side", "upper", "--vertex", "0",
+        ]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "corrupt" in err
+    assert "Traceback" not in err
+
+
+def test_query_corrupt_json_index_clean_error(edges_file, tmp_path, capsys):
+    path = tmp_path / "index.json"
+    path.write_text("{not valid json")
+    code = main(
+        [
+            "query", edges_file, "--index", str(path),
+            "--side", "upper", "--vertex", "0",
+        ]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "not a valid PMBC-Index" in err
+
+
+def test_stats_missing_index_clean_error(edges_file, capsys):
+    assert main(["stats", edges_file, "--index", "/missing.json"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_serve_parser_defaults():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["serve", "edges.txt"])
+    assert args.fn.__name__ == "_cmd_serve"
+    assert args.port == 8642
+    assert args.workers == 8
+    assert args.queue_size == 64
+    assert args.deadline == 30.0
+    assert args.index is None
+
+
+def test_serve_missing_index_clean_error(edges_file, capsys):
+    code = main(["serve", edges_file, "--index", "/no/such.idx"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
 def test_binary_index_build_and_query(edges_file, tmp_path, capsys):
     index_path = str(tmp_path / "index.bin")
     assert main(["build", edges_file, "-o", index_path, "--binary"]) == 0
