@@ -6,11 +6,14 @@ Subcommands:
   KONECT or plain edge-list file and save it;
 - ``pmbc query <edges-file> --index index.json --side upper --vertex 3
   --tau-u 2 --tau-l 2`` — answer a personalized query (index-based when
-  an index file is given, online otherwise);
+  an index file is given, online otherwise); ``--batch-file`` answers
+  many queries in one run with shared two-hop extraction;
 - ``pmbc stats <edges-file>`` — graph and index statistics;
 - ``pmbc datasets`` — list the built-in dataset zoo;
-- ``pmbc serve <edges-file> [--index index.bin]`` — run the HTTP
-  query-serving front-end (see :mod:`repro.serve` and docs/serving.md).
+- ``pmbc serve <edges-file> [--index index.bin] [--execution
+  thread|process]`` — run the HTTP query-serving front-end (see
+  :mod:`repro.serve`, :mod:`repro.exec`, docs/serving.md and
+  docs/execution.md).
 """
 
 from __future__ import annotations
@@ -22,14 +25,12 @@ import time
 
 from repro.core import (
     PMBCIndex,
+    QueryRequest,
     build_index,
     build_index_star,
-    load_binary,
     pmbc_index_query,
     pmbc_online_star,
-    save_binary,
 )
-from repro.core.serialize import MAGIC as _BINARY_MAGIC
 from repro.core.serialize import IndexFormatError
 from repro.graph.bipartite import BipartiteGraph, Side
 from repro.graph.io import read_edge_list, read_konect
@@ -54,23 +55,19 @@ class _IndexLoadError(Exception):
 
 
 def _load_index(path: str) -> PMBCIndex:
-    """Load a saved index, sniffing JSON vs binary by the magic bytes.
+    """Load a saved index through the unified :meth:`PMBCIndex.load`.
 
-    Raises :class:`_IndexLoadError` with a human-readable message when
-    the file is missing, unreadable, or not a valid index in either
-    format — commands turn that into a clean non-zero exit.
+    Format sniffing (JSON vs binary magic bytes) lives in
+    ``PMBCIndex.load``; this wrapper turns failures into
+    :class:`_IndexLoadError` with a human-readable message so commands
+    exit cleanly without a traceback.
     """
     try:
-        with open(path, "rb") as handle:
-            head = handle.read(len(_BINARY_MAGIC))
+        return PMBCIndex.load(path)
     except OSError as exc:
         raise _IndexLoadError(
             f"cannot read index file {path!r}: {exc.strerror or exc}"
         ) from None
-    try:
-        if head == _BINARY_MAGIC:
-            return load_binary(path)
-        return PMBCIndex.load(path)
     except IndexFormatError as exc:
         raise _IndexLoadError(
             f"corrupt binary index {path!r}: {exc}"
@@ -90,10 +87,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
     start = time.perf_counter()
     index = builder(graph)
     elapsed = time.perf_counter() - start
-    if args.binary:
-        save_binary(index, args.output)
-    else:
-        index.save(args.output)
+    index.save(args.output, format="binary" if args.binary else "auto")
     stats = index.stats()
     print(
         f"built PMBC-Index in {elapsed:.2f}s: "
@@ -104,9 +98,89 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_batch_file(path: str, graph: BipartiteGraph) -> list[QueryRequest]:
+    """Parse a batch file: a JSON array or JSON-lines of queries.
+
+    Each query is an object (``side`` plus ``vertex`` or ``label``,
+    optional ``tau_u``/``tau_l``) or a ``[side, vertex, tau_u, tau_l]``
+    array.
+    """
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    if text.lstrip().startswith("["):
+        items = json.loads(text)
+    else:
+        items = [
+            json.loads(line) for line in text.splitlines() if line.strip()
+        ]
+    requests = []
+    for position, item in enumerate(items):
+        try:
+            if isinstance(item, dict) and "vertex" not in item:
+                side = Side(str(item.get("side", "")).lower())
+                item = dict(item)
+                item["vertex"] = graph.vertex_by_label(
+                    side, item.pop("label")
+                )
+            requests.append(QueryRequest.of(item))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise _IndexLoadError(
+                f"bad batch entry #{position} in {path!r}: {exc}"
+            ) from None
+    if not requests:
+        raise _IndexLoadError(f"batch file {path!r} contains no queries")
+    return requests
+
+
+def _cmd_query_batch(args: argparse.Namespace, graph: BipartiteGraph) -> int:
+    from repro.core.engine import PMBCQueryEngine
+
+    requests = _read_batch_file(args.batch_file, graph)
+    start = time.perf_counter()
+    if args.index:
+        index = _load_index(args.index)
+        answers = [pmbc_index_query(index, request) for request in requests]
+    else:
+        engine = PMBCQueryEngine(graph)
+        answers = engine.query_batch(requests)
+    elapsed = time.perf_counter() - start
+    payload = []
+    for request, answer in zip(requests, answers):
+        entry: dict = {"query": request.to_json()}
+        if answer is None:
+            entry["result"] = None
+        else:
+            upper_labels, lower_labels = answer.with_labels(graph)
+            entry["result"] = {
+                "shape": list(answer.shape),
+                "edges": answer.num_edges,
+                "upper": sorted(map(str, upper_labels)),
+                "lower": sorted(map(str, lower_labels)),
+            }
+        payload.append(entry)
+    print(
+        json.dumps(
+            {
+                "count": len(payload),
+                "milliseconds": elapsed * 1e3,
+                "results": payload,
+            },
+            indent=2,
+        )
+    )
+    return 0 if any(a is not None for a in answers) else 1
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph, args.konect)
+    if args.batch_file is not None:
+        return _cmd_query_batch(args, graph)
     side = args.side
+    if side is None:
+        print(
+            "error: provide --side (or use --batch-file)", file=sys.stderr
+        )
+        return 2
     if args.label is not None:
         vertex = graph.vertex_by_label(side, args.label)
     elif args.vertex is not None:
@@ -220,20 +294,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_deadline=args.deadline if args.deadline > 0 else None,
         cache_size=args.cache_size,
         use_core_bounds=not args.no_core_bounds,
+        execution=args.execution,
+        exec_workers=args.exec_workers,
     )
     service = PMBCService(graph, index=index, config=config).start()
     server = PMBCServer(
         service, host=args.host, port=args.port, verbose=args.verbose
     )
     chain = " -> ".join(service.backend_names)
+    execution = service.stats()["execution"]
     print(
         f"pmbc serve: |U|={graph.num_upper} |L|={graph.num_lower} "
-        f"|E|={graph.num_edges}, backends: {chain}",
+        f"|E|={graph.num_edges}, backends: {chain}, "
+        f"execution: {execution['kind']} x{execution['workers']}",
         flush=True,
     )
     print(
         f"listening on {server.url} "
-        f"(endpoints: /query /healthz /metrics /stats; Ctrl-C to stop)",
+        f"(endpoints: /query /query_batch /healthz /metrics /stats; "
+        f"Ctrl-C to stop)",
         flush=True,
     )
     try:
@@ -297,11 +376,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("graph")
     p_query.add_argument("--konect", action="store_true")
     p_query.add_argument("--index", help="saved index (online search if omitted)")
-    p_query.add_argument("--side", type=_side, required=True)
+    p_query.add_argument("--side", type=_side)
     p_query.add_argument("--vertex", type=int)
     p_query.add_argument("--label", help="query by vertex label instead of id")
     p_query.add_argument("--tau-u", type=int, default=1)
     p_query.add_argument("--tau-l", type=int, default=1)
+    p_query.add_argument(
+        "--batch-file",
+        help="answer many queries from a JSON array / JSON-lines file "
+             "(grouped two-hop extraction; ignores --side/--vertex)",
+    )
     p_query.set_defaults(fn=_cmd_query)
 
     p_topk = sub.add_parser(
@@ -349,6 +433,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--port", type=int, default=8642)
     p_serve.add_argument("--workers", type=int, default=8,
                          help="worker thread-pool size (default 8)")
+    p_serve.add_argument("--execution", choices=("thread", "process"),
+                         default="thread",
+                         help="where the search runs: in the worker "
+                              "threads (GIL bound) or on a process pool "
+                              "(real cores); see docs/execution.md")
+    p_serve.add_argument("--exec-workers", type=int, default=None,
+                         help="process-pool size for --execution process "
+                              "(default: --workers)")
     p_serve.add_argument("--queue-size", type=int, default=64,
                          help="bounded request queue capacity (default 64)")
     p_serve.add_argument("--deadline", type=float, default=30.0,

@@ -17,16 +17,31 @@ Public surface:
 """
 
 from repro.core.result import Biclique
-from repro.core.online import pmbc_online, pmbc_online_local, pmbc_online_star
+from repro.core.online import (
+    pmbc_online,
+    pmbc_online_batch,
+    pmbc_online_local,
+    pmbc_online_star,
+)
 from repro.core.index import BicliqueArray, PMBCIndex, SearchTree, SearchTreeNode
-from repro.core.query import pmbc_index_query, pmbc_index_topk
+from repro.core.query import (
+    QueryRequest,
+    as_request,
+    pmbc_index_query,
+    pmbc_index_topk,
+)
 from repro.core.engine import CacheStats, PMBCQueryEngine
 from repro.core.construction import BuildStats, build_index, build_search_tree
 from repro.core.construction_star import build_index_star
 from repro.core.naive_index import NaiveIndex, NaiveIndexTimeout, build_naive_index
 from repro.core.skyline import SkylineIndex
 from repro.core.dynamic import DynamicPMBCIndex
-from repro.core.serialize import load_binary, save_binary
+from repro.core.serialize import (
+    load_binary,
+    read_binary,
+    save_binary,
+    write_binary,
+)
 from repro.core.verify import AnswerCheck, check_personalized_answer
 from repro.core.parallel import (
     ScheduleResult,
@@ -37,7 +52,10 @@ from repro.core.parallel import (
 
 __all__ = [
     "Biclique",
+    "QueryRequest",
+    "as_request",
     "pmbc_online",
+    "pmbc_online_batch",
     "pmbc_online_local",
     "pmbc_online_star",
     "PMBCIndex",
@@ -59,6 +77,8 @@ __all__ = [
     "DynamicPMBCIndex",
     "save_binary",
     "load_binary",
+    "write_binary",
+    "read_binary",
     "AnswerCheck",
     "check_personalized_answer",
     "build_index_parallel",

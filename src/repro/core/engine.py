@@ -14,6 +14,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.core.online import pmbc_online_local
+from repro.core.query import QueryRequest, as_request
 from repro.core.result import Biclique
 from repro.corenum.bounds import CoreBounds, compute_bounds
 from repro.graph.bipartite import BipartiteGraph, Side
@@ -49,6 +50,9 @@ class PMBCQueryEngine:
     cache_size:
         Maximum number of two-hop subgraphs kept (LRU).  Hub subgraphs
         can be large, so the cache is bounded.
+    bounds:
+        Precomputed :class:`CoreBounds` to reuse (skips the offline
+        computation regardless of ``use_core_bounds``).
     """
 
     def __init__(
@@ -56,13 +60,14 @@ class PMBCQueryEngine:
         graph: BipartiteGraph,
         use_core_bounds: bool = True,
         cache_size: int = 256,
+        bounds: CoreBounds | None = None,
     ) -> None:
         if cache_size < 1:
             raise ValueError(f"cache_size must be >= 1, got {cache_size}")
         self._graph = graph
-        self._bounds: CoreBounds | None = (
-            compute_bounds(graph) if use_core_bounds else None
-        )
+        if bounds is None and use_core_bounds:
+            bounds = compute_bounds(graph)
+        self._bounds: CoreBounds | None = bounds
         self._cache_size = cache_size
         self._locals: OrderedDict[tuple[Side, int], LocalGraph] = OrderedDict()
         self._cache_lock = threading.Lock()
@@ -107,9 +112,56 @@ class PMBCQueryEngine:
             self._locals.clear()
 
     def query(
-        self, side: Side, q: int, tau_u: int = 1, tau_l: int = 1
+        self,
+        side: Side | QueryRequest,
+        q: int | None = None,
+        tau_u: int = 1,
+        tau_l: int = 1,
     ) -> Biclique | None:
-        """The personalized maximum biclique of ``q`` (Definition 3)."""
+        """The personalized maximum biclique of ``q`` (Definition 3).
+
+        A single :class:`~repro.core.query.QueryRequest` may replace
+        ``side``/``q``/``tau_u``/``tau_l``.
+        """
+        side, q, tau_u, tau_l = as_request(side, q, tau_u, tau_l).key
+        self._validate(side, q, tau_u, tau_l)
+        local = self._two_hop(side, q)
+        return pmbc_online_local(
+            local, tau_u, tau_l, bounds=self._bounds
+        )
+
+    def query_batch(self, requests) -> list[Biclique | None]:
+        """Answer a batch of :class:`QueryRequest` with shared work.
+
+        Requests are grouped by ``(side, vertex)`` so each distinct
+        query vertex's two-hop subgraph is extracted **at most once**
+        per batch — even when the LRU is smaller than the batch's
+        working set, and regardless of request order.  The (α,β)-core
+        bounds were computed once at engine construction, so a batch
+        pays the offline cost zero additional times.  Answers come back
+        in request order.
+        """
+        reqs = [QueryRequest.of(r) for r in requests]
+        for request in reqs:
+            self._validate(*request.key)
+        results: list[Biclique | None] = [None] * len(reqs)
+        order = sorted(
+            range(len(reqs)),
+            key=lambda i: (reqs[i].side.value, reqs[i].vertex),
+        )
+        current: tuple[Side, int] | None = None
+        local: LocalGraph | None = None
+        for i in order:
+            request = reqs[i]
+            if (request.side, request.vertex) != current:
+                local = self._two_hop(request.side, request.vertex)
+                current = (request.side, request.vertex)
+            results[i] = pmbc_online_local(
+                local, request.tau_u, request.tau_l, bounds=self._bounds
+            )
+        return results
+
+    def _validate(self, side: Side, q: int, tau_u: int, tau_l: int) -> None:
         if not 0 <= q < self._graph.num_vertices_on(side):
             raise ValueError(
                 f"query vertex {q} out of range for the {side.value} layer"
@@ -118,10 +170,6 @@ class PMBCQueryEngine:
             raise ValueError(
                 f"size constraints must be >= 1, got ({tau_u}, {tau_l})"
             )
-        local = self._two_hop(side, q)
-        return pmbc_online_local(
-            local, tau_u, tau_l, bounds=self._bounds
-        )
 
     def _two_hop(self, side: Side, q: int) -> LocalGraph:
         key = (side, q)

@@ -153,8 +153,41 @@ class PMBCIndex:
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
-    def save(self, path: str | os.PathLike) -> None:
-        """Write the index as JSON."""
+    #: Extensions that :meth:`save` maps to the binary format in
+    #: ``format="auto"`` mode.
+    BINARY_EXTENSIONS = (".bin", ".pmbc", ".pmbcidx")
+
+    def save(self, path: str | os.PathLike, format: str = "auto") -> None:
+        """Write the index to ``path``.
+
+        ``format`` selects the on-disk representation:
+
+        - ``"json"`` — the readable JSON layout;
+        - ``"binary"`` — the compact packed layout of
+          :mod:`repro.core.serialize` (3–5× smaller);
+        - ``"auto"`` (default) — binary when the extension is one of
+          :attr:`BINARY_EXTENSIONS`, JSON otherwise.
+
+        :meth:`load` reads either format back without being told which
+        one was written.
+        """
+        if format == "auto":
+            extension = os.path.splitext(os.fspath(path))[1].lower()
+            format = (
+                "binary" if extension in self.BINARY_EXTENSIONS else "json"
+            )
+        if format == "binary":
+            from repro.core.serialize import write_binary
+
+            write_binary(self, path)
+            return
+        if format != "json":
+            raise ValueError(
+                f"format must be 'auto', 'json' or 'binary', got {format!r}"
+            )
+        self._save_json(path)
+
+    def _save_json(self, path: str | os.PathLike) -> None:
         payload = {
             "num_upper": self.num_upper,
             "num_lower": self.num_lower,
@@ -177,7 +210,17 @@ class PMBCIndex:
 
     @classmethod
     def load(cls, path: str | os.PathLike) -> "PMBCIndex":
-        """Read an index previously written by :meth:`save`."""
+        """Read an index previously written by :meth:`save`.
+
+        The format is auto-detected: files starting with the binary
+        magic bytes are read as binary, everything else as JSON.
+        """
+        from repro.core.serialize import MAGIC, read_binary
+
+        with open(path, "rb") as handle:
+            head = handle.read(len(MAGIC))
+        if head == MAGIC:
+            return read_binary(path)
         with open(path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
         array = BicliqueArray()

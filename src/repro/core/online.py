@@ -11,6 +11,7 @@ Branch&Bound).
 
 from __future__ import annotations
 
+from repro.core.query import QueryRequest, as_request
 from repro.core.result import Biclique
 from repro.corenum.bounds import CoreBounds
 from repro.graph.bipartite import BipartiteGraph, Side
@@ -21,8 +22,8 @@ from repro.mbc.progressive import SearchOptions, maximum_biclique_local
 
 def pmbc_online(
     graph: BipartiteGraph,
-    side: Side,
-    q: int,
+    side: Side | QueryRequest,
+    q: int | None = None,
     tau_u: int = 1,
     tau_l: int = 1,
     seed: Biclique | None = None,
@@ -36,7 +37,9 @@ def pmbc_online(
     Parameters
     ----------
     graph, side, q:
-        The bipartite graph and the query vertex (layer + id).
+        The bipartite graph and the query vertex (layer + id).  A
+        single :class:`~repro.core.query.QueryRequest` may replace
+        ``side``/``q``/``tau_u``/``tau_l``.
     tau_u, tau_l:
         Layer-size constraints on the answer (≥ 1).
     seed:
@@ -55,6 +58,7 @@ def pmbc_online(
     Returns the maximum-edge biclique containing ``q`` with
     ``|U| ≥ tau_u`` and ``|L| ≥ tau_l``, or None when none exists.
     """
+    side, q, tau_u, tau_l = as_request(side, q, tau_u, tau_l).key
     _validate_query(graph, side, q, tau_u, tau_l)
     local = two_hop_subgraph(graph, side, q)
     return pmbc_online_local(
@@ -110,8 +114,8 @@ def pmbc_online_local(
 
 def pmbc_online_star(
     graph: BipartiteGraph,
-    side: Side,
-    q: int,
+    side: Side | QueryRequest,
+    q: int | None = None,
     tau_u: int = 1,
     tau_l: int = 1,
     bounds: CoreBounds | None = None,
@@ -123,10 +127,13 @@ def pmbc_online_star(
 
     ``bounds`` should be precomputed once per graph (the paper computes
     them offline); when omitted they are computed on the fly, which is
-    correct but defeats the purpose for repeated queries.
+    correct but defeats the purpose for repeated queries.  A single
+    :class:`~repro.core.query.QueryRequest` may replace
+    ``side``/``q``/``tau_u``/``tau_l``.
     """
     from repro.corenum.bounds import compute_bounds
 
+    side, q, tau_u, tau_l = as_request(side, q, tau_u, tau_l).key
     if bounds is None:
         bounds = compute_bounds(graph)
     return pmbc_online(
@@ -140,6 +147,46 @@ def pmbc_online_star(
         max_u=max_u,
         max_l=max_l,
     )
+
+
+def pmbc_online_batch(
+    graph: BipartiteGraph,
+    requests,
+    bounds: CoreBounds | None = None,
+    use_core_bounds: bool = True,
+) -> list[Biclique | None]:
+    """Answer a batch of requests with shared offline work.
+
+    The batch analogue of :func:`pmbc_online_star`: the (α,β)-core
+    bounds are computed **once** for the whole batch (instead of once
+    per call) and requests are grouped by query vertex so each distinct
+    two-hop subgraph is extracted exactly once.  Answers come back in
+    request order.
+    """
+    from repro.corenum.bounds import compute_bounds
+
+    reqs = [QueryRequest.of(r) for r in requests]
+    if bounds is None and use_core_bounds and reqs:
+        bounds = compute_bounds(graph)
+    results: list[Biclique | None] = [None] * len(reqs)
+    order = sorted(
+        range(len(reqs)),
+        key=lambda i: (reqs[i].side.value, reqs[i].vertex),
+    )
+    current: tuple[Side, int] | None = None
+    local: LocalGraph | None = None
+    for i in order:
+        request = reqs[i]
+        _validate_query(
+            graph, request.side, request.vertex, request.tau_u, request.tau_l
+        )
+        if (request.side, request.vertex) != current:
+            local = two_hop_subgraph(graph, request.side, request.vertex)
+            current = (request.side, request.vertex)
+        results[i] = pmbc_online_local(
+            local, request.tau_u, request.tau_l, bounds=bounds
+        )
+    return results
 
 
 def _validate_query(

@@ -1,16 +1,18 @@
-"""Shared-memory parallel index construction (Algorithm 6) + Fig 8 model.
+"""Parallel index construction (Algorithm 6) + the Fig 8 model.
 
 Two pieces:
 
-1. :func:`build_index_parallel` — a real concurrent builder: worker
-   threads take vertices from a shared queue (the paper's OpenMP
-   *dynamic scheduling*), and appends into the shared biclique array
-   ``A`` and skyline index ``S`` are serialized through locks — the
-   CPython stand-in for the paper's atomic fetch-and-add slot
-   allocation.  Because the per-vertex searches are pure Python, the
-   GIL prevents wall-clock speedup on this substrate; the builder
-   exists to reproduce the *algorithm* (correctness under concurrent
-   construction is covered by tests).
+1. :func:`build_index_parallel` — the concurrent builder, rebased onto
+   the shared execution substrate of :mod:`repro.exec` so index
+   construction and query serving use **one** pool implementation with
+   one set of metrics.  With ``execution="thread"`` workers append
+   into the shared biclique array ``A`` and skyline index ``S``
+   through locks — the CPython stand-in for the paper's atomic
+   fetch-and-add slot allocation (GIL bound, reproduces the
+   *algorithm*).  With ``execution="process"`` each worker process
+   builds portable per-vertex trees against the graph it inherited
+   once, and the parent merges them into one deduplicated array —
+   real-core speedup for the pure-Python search.
 
 2. :func:`simulate_parallel_schedule` — the Fig 8 measurement model:
    given measured per-vertex task costs from an instrumented
@@ -26,9 +28,7 @@ from __future__ import annotations
 import heapq
 import threading
 from dataclasses import dataclass
-from queue import Empty, Queue
 
-from repro.core.construction import build_search_tree
 from repro.core.index import BicliqueArray, PMBCIndex, SearchTree
 from repro.core.skyline import SkylineIndex
 from repro.corenum.bounds import CoreBounds, compute_bounds
@@ -57,6 +57,9 @@ def build_index_parallel(
     use_skyline: bool = True,
     bounds: CoreBounds | None = None,
     use_core_bounds: bool = True,
+    execution: str = "thread",
+    executor=None,
+    metrics=None,
 ) -> PMBCIndex:
     """Algorithm 6: build the PMBC-Index with ``num_threads`` workers.
 
@@ -65,51 +68,62 @@ def build_index_parallel(
     The result is equivalent (same query answers, Lemma 8/size bounds)
     to a sequential build, though the array order and cost-sharing hits
     depend on scheduling.
+
+    ``execution`` picks the :mod:`repro.exec` backend (``"thread"`` or
+    ``"process"``); alternatively pass a ready ``executor`` to share a
+    pool (and its metrics) with the serving layer — it is borrowed, not
+    closed.  Skyline cost-sharing spans workers only on the thread
+    backend (shared memory); process workers build standalone trees
+    whose bicliques the parent merges and deduplicates.
     """
     if num_threads < 1:
         raise ValueError(f"num_threads must be >= 1, got {num_threads}")
+    from repro.exec.executor import create_executor
+
     if bounds is None and use_core_bounds:
         bounds = compute_bounds(graph)
-    array = _LockedBicliqueArray()
-    skyline = (
-        SkylineIndex(graph, array, locking=True) if use_skyline else None
-    )
+    owned = executor is None
+    if owned:
+        executor = create_executor(
+            execution,
+            graph,
+            bounds=bounds,
+            use_core_bounds=False,
+            num_workers=num_threads,
+            metrics=metrics,
+        )
+    items = [
+        (side, q)
+        for side in Side
+        for q in range(graph.num_vertices_on(side))
+    ]
     trees: dict[Side, list[SearchTree]] = {
         side: [SearchTree() for __ in range(graph.num_vertices_on(side))]
         for side in Side
     }
+    try:
+        if executor.kind == "process":
+            array = BicliqueArray()
+            from repro.exec.tasks import merge_portable_tree
 
-    tasks: Queue[tuple[Side, int]] = Queue()
-    for side in Side:
-        for q in range(graph.num_vertices_on(side)):
-            tasks.put((side, q))
-
-    errors: list[BaseException] = []
-
-    def worker() -> None:
-        while True:
+            for side, q, tree, bicliques in executor.map("build_tree", items):
+                trees[side][q] = merge_portable_tree(array, tree, bicliques)
+        else:
+            array = _LockedBicliqueArray()
+            skyline = (
+                SkylineIndex(graph, array, locking=True)
+                if use_skyline
+                else None
+            )
+            executor.state.scratch["build"] = (array, bounds, skyline)
             try:
-                side, q = tasks.get_nowait()
-            except Empty:
-                return
-            try:
-                trees[side][q] = build_search_tree(
-                    graph, side, q, array, bounds, skyline
-                )
-            except BaseException as exc:  # propagate to the caller
-                errors.append(exc)
-                return
-
-    threads = [
-        threading.Thread(target=worker, name=f"pmbc-ic-{i}")
-        for i in range(num_threads)
-    ]
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join()
-    if errors:
-        raise errors[0]
+                for side, q, tree in executor.map("build_tree_shared", items):
+                    trees[side][q] = tree
+            finally:
+                executor.state.scratch.pop("build", None)
+    finally:
+        if owned:
+            executor.close()
     return PMBCIndex(
         num_upper=graph.num_upper,
         num_lower=graph.num_lower,

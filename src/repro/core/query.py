@@ -1,24 +1,121 @@
-"""PMBC-IQ — index-based query processing (Algorithm 2).
+"""PMBC-IQ — index-based query processing (Algorithm 2) + the request type.
 
 Walk the query vertex's search tree from the root: a node whose stored
 biclique satisfies the size constraints is the answer (the first hit is
 maximal by Lemma 2); otherwise descend into the unique child whose
 ``(τ_U, τ_L)`` is dominated by the query's.  Runs in
 ``O(deg(q) + |C|)`` (Theorem 2).
+
+This module also defines :class:`QueryRequest`, the one value type a
+personalized query is expressed as across the whole stack — the online
+searches, the caching engine, the index lookup, the execution substrate
+(:mod:`repro.exec`) and the serving layer all accept it, while keeping
+their historical positional ``(side, q, tau_u, tau_l)`` signatures as
+thin wrappers.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 from repro.core.index import PMBCIndex
 from repro.core.result import Biclique
 from repro.graph.bipartite import Side
 
 
+@dataclass(frozen=True)
+class QueryRequest:
+    """One personalized query: ``(side, vertex, τ_U, τ_L)``.
+
+    The canonical request shape of Definition 3, shared by every query
+    surface (``pmbc_online``/``pmbc_online_star``, the engine, the
+    index, the service, the HTTP client) and by batch APIs
+    (``query_batch`` takes a ``Sequence[QueryRequest]``).
+
+    ``side`` may be given as a :class:`Side` or its string value
+    (``"upper"``/``"lower"``); it is normalized to a :class:`Side`.
+    Range/constraint validation stays with the consumer (each layer
+    reports violations with its own error type), except for the
+    structural invariants every surface agrees on: integer fields and
+    a known side.
+    """
+
+    side: Side
+    vertex: int
+    tau_u: int = 1
+    tau_l: int = 1
+
+    def __post_init__(self) -> None:
+        if isinstance(self.side, str):
+            object.__setattr__(self, "side", Side(self.side.lower()))
+        elif not isinstance(self.side, Side):
+            raise TypeError(
+                f"side must be a Side or its string value, got {self.side!r}"
+            )
+        for name in ("vertex", "tau_u", "tau_l"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise TypeError(f"{name} must be an int, got {value!r}")
+
+    @property
+    def key(self) -> tuple[Side, int, int, int]:
+        """A hashable identity (cache keys, single-flight collapsing)."""
+        return (self.side, self.vertex, self.tau_u, self.tau_l)
+
+    def to_json(self) -> dict:
+        """A JSON-friendly representation (the HTTP wire shape)."""
+        return {
+            "side": self.side.value,
+            "vertex": self.vertex,
+            "tau_u": self.tau_u,
+            "tau_l": self.tau_l,
+        }
+
+    @classmethod
+    def of(cls, request) -> "QueryRequest":
+        """Coerce a request-like value into a :class:`QueryRequest`.
+
+        Accepts an existing request (returned as-is), a ``(side,
+        vertex[, tau_u[, tau_l]])`` tuple, or a mapping with those
+        keys — the shapes batch callers naturally hold.
+        """
+        if isinstance(request, cls):
+            return request
+        if isinstance(request, dict):
+            return cls(
+                side=request["side"],
+                vertex=request["vertex"],
+                tau_u=request.get("tau_u", 1),
+                tau_l=request.get("tau_l", 1),
+            )
+        if isinstance(request, (tuple, list)) and 2 <= len(request) <= 4:
+            return cls(*request)
+        raise TypeError(f"cannot interpret {request!r} as a QueryRequest")
+
+
+def as_request(side, q=None, tau_u: int = 1, tau_l: int = 1) -> QueryRequest:
+    """Normalize a positional-or-request call signature.
+
+    Every query entry point accepts either its historical positional
+    arguments or a single :class:`QueryRequest` in the ``side``
+    position; this helper implements that contract in one place.
+    """
+    if isinstance(side, QueryRequest):
+        if q is not None:
+            raise TypeError(
+                "pass either a QueryRequest or positional arguments, not both"
+            )
+        return side
+    if q is None:
+        raise TypeError("missing query vertex (or pass a QueryRequest)")
+    return QueryRequest(side=side, vertex=q, tau_u=tau_u, tau_l=tau_l)
+
+
 def pmbc_index_topk(
     index: PMBCIndex,
-    side: Side,
-    q: int,
-    k: int,
+    side: Side | QueryRequest,
+    q: int | None = None,
+    k: int = 1,
     tau_u: int = 1,
     tau_l: int = 1,
 ) -> list[Biclique]:
@@ -30,7 +127,12 @@ def pmbc_index_topk(
     come straight off the tree — an extension the index supports for
     free.  Results satisfy the given constraints and are sorted by edge
     count descending (ties broken by shape for determinism).
+
+    ``side``/``q``/``tau_u``/``tau_l`` may be replaced by a single
+    :class:`QueryRequest` in the ``side`` position.
     """
+    request = as_request(side, q, tau_u, tau_l)
+    side, q, tau_u, tau_l = request.key
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     if tau_u < 1 or tau_l < 1:
@@ -56,13 +158,20 @@ def pmbc_index_topk(
 
 
 def pmbc_index_query(
-    index: PMBCIndex, side: Side, q: int, tau_u: int = 1, tau_l: int = 1
+    index: PMBCIndex,
+    side: Side | QueryRequest,
+    q: int | None = None,
+    tau_u: int = 1,
+    tau_l: int = 1,
 ) -> Biclique | None:
     """The personalized maximum biclique of ``q`` from the PMBC-Index.
 
     Returns None when no biclique containing ``q`` meets the
-    constraints.
+    constraints.  ``side``/``q``/``tau_u``/``tau_l`` may be replaced by
+    a single :class:`QueryRequest` in the ``side`` position.
     """
+    request = as_request(side, q, tau_u, tau_l)
+    side, q, tau_u, tau_l = request.key
     if tau_u < 1 or tau_l < 1:
         raise ValueError(
             f"size constraints must be >= 1, got ({tau_u}, {tau_l})"

@@ -24,6 +24,7 @@ from __future__ import annotations
 import io
 import os
 import struct
+import warnings
 
 from repro.core.index import (
     BicliqueArray,
@@ -55,8 +56,13 @@ def _read_u32(handle) -> int:
     return _U32.unpack(raw)[0]
 
 
-def save_binary(index: PMBCIndex, path: str | os.PathLike) -> int:
-    """Write ``index`` in the binary format; returns bytes written."""
+def write_binary(index: PMBCIndex, path: str | os.PathLike) -> int:
+    """Write ``index`` in the binary format; returns bytes written.
+
+    Prefer the unified :meth:`PMBCIndex.save` entry point
+    (``index.save(path, format="binary")``); this function is its
+    implementation.
+    """
     buffer = io.BytesIO()
     buffer.write(MAGIC)
     _write_u32(buffer, index.num_upper)
@@ -94,8 +100,12 @@ def save_binary(index: PMBCIndex, path: str | os.PathLike) -> int:
     return len(payload)
 
 
-def load_binary(path: str | os.PathLike) -> PMBCIndex:
-    """Read an index previously written by :func:`save_binary`."""
+def read_binary(path: str | os.PathLike) -> PMBCIndex:
+    """Read an index previously written in the binary format.
+
+    Prefer the unified :meth:`PMBCIndex.load` entry point, which
+    auto-detects the format; this function is its binary branch.
+    """
     with open(path, "rb") as handle:
         if handle.read(len(MAGIC)) != MAGIC:
             raise IndexFormatError("bad magic — not a binary PMBC-Index")
@@ -142,3 +152,29 @@ def load_binary(path: str | os.PathLike) -> PMBCIndex:
         trees=trees,
         array=array,
     )
+
+
+# ----------------------------------------------------------------------
+# deprecated aliases (pre-unified persistence API)
+
+
+def save_binary(index: PMBCIndex, path: str | os.PathLike) -> int:
+    """Deprecated alias for ``index.save(path, format="binary")``."""
+    warnings.warn(
+        "save_binary() is deprecated; use "
+        "PMBCIndex.save(path, format='binary')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return write_binary(index, path)
+
+
+def load_binary(path: str | os.PathLike) -> PMBCIndex:
+    """Deprecated alias for :meth:`PMBCIndex.load` (auto-detecting)."""
+    warnings.warn(
+        "load_binary() is deprecated; use PMBCIndex.load(path), which "
+        "auto-detects the format",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return read_binary(path)

@@ -5,9 +5,13 @@ online search) into a shared, instrumented service:
 
 - :class:`~repro.serve.service.PMBCService` — bounded request queue
   with admission control, worker pool, per-request deadlines,
-  single-flight deduplication, index → engine → online degradation;
+  single-flight deduplication, pluggable thread/process execution
+  (see :mod:`repro.exec`), a vertex-grouped batch path
+  (:meth:`~repro.serve.service.PMBCService.query_batch`), and
+  index → execution → online degradation;
 - :class:`~repro.serve.server.PMBCServer` — ``http.server`` JSON
-  front-end (``/query``, ``/healthz``, ``/metrics``, ``/stats``);
+  front-end (``/query``, ``/query_batch``, ``/healthz``,
+  ``/metrics``, ``/stats``);
 - :class:`~repro.serve.client.PMBCClient` — stdlib client mapping
   HTTP errors back onto the service exception types;
 - :mod:`~repro.serve.metrics` — dependency-free counters, gauges and
@@ -31,6 +35,7 @@ from repro.serve.singleflight import (
 )
 from repro.serve.service import (
     BackendError,
+    BatchResult,
     DeadlineExceededError,
     InvalidRequestError,
     PMBCService,
@@ -47,6 +52,7 @@ __all__ = [
     "PMBCService",
     "ServiceConfig",
     "QueryResult",
+    "BatchResult",
     "PMBCServer",
     "serve_forever",
     "PMBCClient",

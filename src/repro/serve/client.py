@@ -13,6 +13,7 @@ from urllib.error import HTTPError, URLError
 from urllib.parse import urlencode
 from urllib.request import Request, urlopen
 
+from repro.core.query import QueryRequest
 from repro.serve.service import (
     BackendError,
     DeadlineExceededError,
@@ -95,7 +96,7 @@ class PMBCClient:
 
     def query(
         self,
-        side: str,
+        side: str | QueryRequest,
         vertex: int | None = None,
         tau_u: int = 1,
         tau_l: int = 1,
@@ -105,21 +106,57 @@ class PMBCClient:
     ) -> dict:
         """POST ``/query``; returns the decoded response payload.
 
-        Raises the matching :class:`~repro.serve.service.ServeError`
-        subclass on a non-200 answer.
+        ``side`` may be a single
+        :class:`~repro.core.query.QueryRequest` replacing the
+        ``side``/``vertex``/``tau_u``/``tau_l`` arguments.  Raises the
+        matching :class:`~repro.serve.service.ServeError` subclass on a
+        non-200 answer.
         """
-        payload: dict = {"side": side, "tau_u": tau_u, "tau_l": tau_l}
-        if label is not None:
-            payload["label"] = label
-        elif vertex is not None:
-            payload["vertex"] = vertex
+        if isinstance(side, QueryRequest):
+            if vertex is not None or label is not None:
+                raise InvalidRequestError(
+                    "pass either a QueryRequest or raw arguments, not both"
+                )
+            payload = side.to_json()
         else:
-            raise InvalidRequestError("provide vertex or label")
+            payload = {"side": side, "tau_u": tau_u, "tau_l": tau_l}
+            if label is not None:
+                payload["label"] = label
+            elif vertex is not None:
+                payload["vertex"] = vertex
+            else:
+                raise InvalidRequestError("provide vertex or label")
         if deadline is not None:
             payload["deadline"] = deadline
         if verify:
             payload["verify"] = True
         return self._json("/query", payload)
+
+    def query_batch(
+        self,
+        queries,
+        deadline: float | None = None,
+    ) -> dict:
+        """POST ``/query_batch``; returns the decoded batch payload.
+
+        ``queries`` is a sequence of
+        :class:`~repro.core.query.QueryRequest`, dicts (``side`` plus
+        ``vertex`` or ``label``, optional ``tau_u``/``tau_l``), or
+        ``(side, vertex[, tau_u[, tau_l]])`` tuples.  The whole batch
+        shares one admission and one ``deadline`` on the server.
+        """
+        items: list[dict] = []
+        for query in queries:
+            if isinstance(query, dict):
+                items.append(query)
+            else:
+                items.append(QueryRequest.of(query).to_json())
+        if not items:
+            raise InvalidRequestError("provide at least one query")
+        payload: dict = {"queries": items}
+        if deadline is not None:
+            payload["deadline"] = deadline
+        return self._json("/query_batch", payload)
 
     def query_get(self, **params) -> dict:
         """GET ``/query`` with raw query-string parameters."""

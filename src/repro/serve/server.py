@@ -6,6 +6,9 @@ Endpoints:
   fields as a JSON body; ``label`` may replace ``vertex``, and
   ``verify=1`` attaches a structural answer certificate from
   :mod:`repro.core.verify`) — answer a personalized query;
+- ``POST /query_batch`` with ``{"queries": [{...}, ...], "deadline":
+  s}`` — answer many queries in one admission; the service groups the
+  batch by query vertex so shared two-hop extractions are paid once;
 - ``GET /healthz`` — liveness;
 - ``GET /metrics`` — Prometheus-style text exposition;
 - ``GET /stats`` — JSON service snapshot.
@@ -24,6 +27,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
+from repro.core.query import QueryRequest
 from repro.core.verify import check_personalized_answer
 from repro.graph.bipartite import Side
 from repro.serve.service import (
@@ -146,7 +150,8 @@ class PMBCRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         parsed = urlparse(self.path)
-        if parsed.path.rstrip("/") != "/query":
+        route = parsed.path.rstrip("/")
+        if route not in ("/query", "/query_batch"):
             self._send_json(
                 404,
                 {"error": "NotFound", "detail": f"no route {parsed.path!r}"},
@@ -163,7 +168,10 @@ class PMBCRequestHandler(BaseHTTPRequestHandler):
                 400, {"error": "InvalidRequestError", "detail": str(exc)}
             )
             return
-        self._handle_query(params)
+        if route == "/query_batch":
+            self._handle_query_batch(params)
+        else:
+            self._handle_query(params)
 
     # ------------------------------------------------------------------
     # handlers
@@ -211,6 +219,73 @@ class PMBCRequestHandler(BaseHTTPRequestHandler):
             200, self._render_result(result, side, vertex, tau_u, tau_l, verify)
         )
 
+    def _parse_batch_item(self, item, position: int) -> QueryRequest:
+        if not isinstance(item, dict):
+            raise InvalidRequestError(
+                f"queries[{position}] must be a JSON object"
+            )
+        side = _parse_side(str(item.get("side", "")))
+        label = item.get("label")
+        if label is not None:
+            try:
+                vertex = self.service.graph.vertex_by_label(side, label)
+            except KeyError:
+                raise InvalidRequestError(
+                    f"no {side.value} vertex labelled {label!r}"
+                ) from None
+        else:
+            vertex = _parse_int(item, "vertex")
+        tau_u = _parse_int(item, "tau_u", default=1)
+        tau_l = _parse_int(item, "tau_l", default=1)
+        return QueryRequest(side, vertex, tau_u, tau_l)
+
+    def _handle_query_batch(self, params: dict) -> None:
+        service = self.service
+        try:
+            queries = params.get("queries")
+            if not isinstance(queries, list) or not queries:
+                raise InvalidRequestError(
+                    "'queries' must be a non-empty JSON array"
+                )
+            requests = [
+                self._parse_batch_item(item, position)
+                for position, item in enumerate(queries)
+            ]
+            deadline = _parse_float(params, "deadline")
+            result = service.query_batch(requests, deadline=deadline)
+        except ServeError as exc:
+            self._send_error_json(exc)
+            return
+        self._send_json(
+            200,
+            {
+                "backend": result.backend,
+                "count": len(result),
+                "queue_ms": result.queue_seconds * 1e3,
+                "total_ms": result.total_seconds * 1e3,
+                "results": [
+                    {
+                        "query": request.to_json(),
+                        "result": self._render_biclique(biclique),
+                    }
+                    for request, biclique in zip(
+                        requests, result.bicliques
+                    )
+                ],
+            },
+        )
+
+    def _render_biclique(self, biclique) -> dict | None:
+        if biclique is None:
+            return None
+        upper_labels, lower_labels = biclique.with_labels(self.service.graph)
+        return {
+            "shape": list(biclique.shape),
+            "edges": biclique.num_edges,
+            "upper": sorted(map(str, upper_labels)),
+            "lower": sorted(map(str, lower_labels)),
+        }
+
     def _render_result(
         self,
         result: QueryResult,
@@ -233,18 +308,7 @@ class PMBCRequestHandler(BaseHTTPRequestHandler):
             "total_ms": result.total_seconds * 1e3,
         }
         biclique = result.biclique
-        if biclique is None:
-            payload["result"] = None
-        else:
-            upper_labels, lower_labels = biclique.with_labels(
-                self.service.graph
-            )
-            payload["result"] = {
-                "shape": list(biclique.shape),
-                "edges": biclique.num_edges,
-                "upper": sorted(map(str, upper_labels)),
-                "lower": sorted(map(str, lower_labels)),
-            }
+        payload["result"] = self._render_biclique(biclique)
         if verify:
             check = check_personalized_answer(
                 self.service.graph, side, vertex, tau_u, tau_l, biclique

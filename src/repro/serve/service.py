@@ -19,8 +19,18 @@ suitable for heavy concurrent traffic:
 - **single-flight deduplication** of identical concurrent
   ``(side, vertex, tau_u, tau_l)`` requests (see
   :mod:`repro.serve.singleflight`);
-- **graceful degradation** across backends: index → caching engine →
-  plain online search, falling through on unexpected backend failure;
+- **pluggable execution** (see :mod:`repro.exec`): the CPU-bound
+  branch-and-bound runs either in the worker threads themselves
+  (``execution="thread"``, the GIL-bound default) or on a process pool
+  whose workers inherited the graph once (``execution="process"``,
+  real-core parallelism);
+- a **batch path** (:meth:`PMBCService.query_batch`): one admission
+  for many :class:`~repro.core.query.QueryRequest`, grouped by query
+  vertex so shared two-hop extractions and the once-per-graph core
+  bounds are amortized across the whole batch;
+- **graceful degradation** across backends: index → execution backend
+  → caching engine → plain online search, falling through on
+  unexpected backend failure;
 - **metrics** for all of the above (see :mod:`repro.serve.metrics`).
 """
 
@@ -36,8 +46,15 @@ from dataclasses import dataclass, field
 from repro.core.engine import PMBCQueryEngine
 from repro.core.index import PMBCIndex
 from repro.core.online import pmbc_online_star
-from repro.core.query import pmbc_index_query
+from repro.core.query import QueryRequest, pmbc_index_query
 from repro.core.result import Biclique
+from repro.exec.executor import (
+    EXECUTION_KINDS,
+    Executor,
+    ThreadBackend,
+    create_executor,
+)
+from repro.exec.tasks import WorkerState
 from repro.graph.bipartite import BipartiteGraph, Side
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.singleflight import SingleFlight, SingleFlightTimeout
@@ -46,6 +63,7 @@ __all__ = [
     "PMBCService",
     "ServiceConfig",
     "QueryResult",
+    "BatchResult",
     "ServeError",
     "InvalidRequestError",
     "QueueFullError",
@@ -111,6 +129,14 @@ class ServiceConfig:
     use_core_bounds:
         Precompute (α,β)-core bounds for the engine/online fallbacks
         (PMBC-OL* mode).  Disable for faster startup on huge graphs.
+    execution:
+        Where the CPU-bound search runs: ``"thread"`` (in the worker
+        threads, PR 1 behaviour) or ``"process"`` (a
+        :class:`repro.exec.ProcessBackend` pool — real cores, at the
+        price of per-worker caches).  See docs/execution.md.
+    exec_workers:
+        Process-pool size for ``execution="process"``; defaults to
+        ``num_workers``.
     """
 
     num_workers: int = 8
@@ -118,6 +144,8 @@ class ServiceConfig:
     default_deadline: float | None = 30.0
     cache_size: int = 256
     use_core_bounds: bool = True
+    execution: str = "thread"
+    exec_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -129,6 +157,15 @@ class ServiceConfig:
         if self.default_deadline is not None and self.default_deadline <= 0:
             raise ValueError(
                 f"default_deadline must be positive, got {self.default_deadline}"
+            )
+        if self.execution not in EXECUTION_KINDS:
+            raise ValueError(
+                f"execution must be one of {EXECUTION_KINDS}, "
+                f"got {self.execution!r}"
+            )
+        if self.exec_workers is not None and self.exec_workers < 1:
+            raise ValueError(
+                f"exec_workers must be >= 1, got {self.exec_workers}"
             )
 
 
@@ -143,19 +180,40 @@ class QueryResult:
     total_seconds: float    # admission -> answer
 
 
+@dataclass(frozen=True)
+class BatchResult:
+    """A served batch: per-request answers (in order) plus metadata."""
+
+    bicliques: tuple[Biclique | None, ...]
+    backend: str
+    queue_seconds: float    # admission -> worker pickup
+    total_seconds: float    # admission -> answer
+
+    def __len__(self) -> int:
+        return len(self.bicliques)
+
+
 @dataclass
 class _Request:
-    side: Side
-    vertex: int
-    tau_u: int
-    tau_l: int
+    request: QueryRequest
     deadline: float | None          # absolute, time.monotonic() clock
     enqueued_at: float
     future: Future = field(default_factory=Future)
 
     @property
     def key(self) -> tuple[Side, int, int, int]:
-        return (self.side, self.vertex, self.tau_u, self.tau_l)
+        return self.request.key
+
+    def remaining(self, now: float) -> float | None:
+        return None if self.deadline is None else self.deadline - now
+
+
+@dataclass
+class _BatchRequest:
+    requests: tuple[QueryRequest, ...]
+    deadline: float | None          # absolute, time.monotonic() clock
+    enqueued_at: float
+    future: Future = field(default_factory=Future)
 
     def remaining(self, now: float) -> float | None:
         return None if self.deadline is None else self.deadline - now
@@ -174,6 +232,36 @@ class _IndexBackend:
     ) -> Biclique | None:
         return pmbc_index_query(self._index, side, vertex, tau_u, tau_l)
 
+    def query_batch(self, requests) -> list[Biclique | None]:
+        # Index lookups touch no two-hop subgraphs; a plain loop is
+        # already the optimal batch plan.
+        return [pmbc_index_query(self._index, r) for r in requests]
+
+
+class _ExecBackend:
+    """The execution substrate (thread or process pool).
+
+    With a :class:`~repro.exec.ThreadBackend` this runs the shared
+    engine in the calling worker thread — behaviourally identical to
+    querying the engine directly, so it reports as ``"engine"``.  With
+    a :class:`~repro.exec.ProcessBackend` it ships work items to the
+    pool and reports as ``"process"``.
+    """
+
+    def __init__(self, executor: Executor) -> None:
+        self.executor = executor
+        self.name = "engine" if executor.kind == "thread" else "process"
+
+    def query(
+        self, side: Side, vertex: int, tau_u: int, tau_l: int
+    ) -> Biclique | None:
+        return self.executor.run(
+            "query", QueryRequest(side, vertex, tau_u, tau_l)
+        )
+
+    def query_batch(self, requests) -> list[Biclique | None]:
+        return self.executor.run("query_batch", list(requests))
+
 
 class _EngineBackend:
     """The shared caching engine (PMBC-OL* + two-hop LRU)."""
@@ -188,19 +276,35 @@ class _EngineBackend:
     ) -> Biclique | None:
         return self.engine.query(side, vertex, tau_u, tau_l)
 
+    def query_batch(self, requests) -> list[Biclique | None]:
+        return self.engine.query_batch(requests)
+
 
 class _OnlineBackend:
     """Stateless PMBC-OL*: the last-resort fallback."""
 
     name = "online"
 
-    def __init__(self, graph: BipartiteGraph) -> None:
+    def __init__(self, graph: BipartiteGraph, bounds=None) -> None:
         self._graph = graph
+        self._bounds = bounds
 
     def query(
         self, side: Side, vertex: int, tau_u: int, tau_l: int
     ) -> Biclique | None:
-        return pmbc_online_star(self._graph, side, vertex, tau_u, tau_l)
+        return pmbc_online_star(
+            self._graph, side, vertex, tau_u, tau_l, bounds=self._bounds
+        )
+
+    def query_batch(self, requests) -> list[Biclique | None]:
+        from repro.core.online import pmbc_online_batch
+
+        return pmbc_online_batch(
+            self._graph,
+            requests,
+            bounds=self._bounds,
+            use_core_bounds=self._bounds is not None,
+        )
 
 
 class PMBCService:
@@ -240,14 +344,45 @@ class PMBCService:
             use_core_bounds=self.config.use_core_bounds,
             cache_size=self.config.cache_size,
         )
+        exec_workers = self.config.exec_workers or self.config.num_workers
+        if self.config.execution == "process":
+            self._executor = create_executor(
+                "process",
+                graph,
+                bounds=self.engine.bounds,
+                use_core_bounds=False,
+                num_workers=exec_workers,
+                cache_size=self.config.cache_size,
+                metrics=self.metrics,
+            )
+        else:
+            # Thread execution runs in the serving worker threads
+            # against the shared engine (and its LRU) — PR 1 behaviour.
+            self._executor = ThreadBackend(
+                graph,
+                num_workers=exec_workers,
+                metrics=self.metrics,
+                state=WorkerState(
+                    graph=graph,
+                    bounds=self.engine.bounds,
+                    cache_size=self.config.cache_size,
+                    _engine=self.engine,
+                ),
+            )
         self._backends: list[object] = []
         if index is not None:
             self._backends.append(_IndexBackend(index))
-        self._backends.append(_EngineBackend(self.engine))
-        self._backends.append(_OnlineBackend(graph))
+        self._backends.append(_ExecBackend(self._executor))
+        if self._executor.kind == "process":
+            # Keep the in-process engine as a degradation target in
+            # case the pool breaks mid-flight.
+            self._backends.append(_EngineBackend(self.engine))
+        self._backends.append(
+            _OnlineBackend(graph, bounds=self.engine.bounds)
+        )
 
-        self._queue: queue.Queue[_Request | None] = queue.Queue(
-            maxsize=self.config.max_queue
+        self._queue: queue.Queue[_Request | _BatchRequest | None] = (
+            queue.Queue(maxsize=self.config.max_queue)
         )
         self._flight = SingleFlight()
         self._workers: list[threading.Thread] = []
@@ -297,6 +432,9 @@ class PMBCService:
             # A request admitted in the race window between the closed
             # check and the drain would otherwise hang its caller.
             self._drain_queue()
+            # Closing a process pool waits for in-flight work, so only
+            # a waiting close may do it.
+            self._executor.close()
 
     def _drain_queue(self) -> None:
         while True:
@@ -352,6 +490,9 @@ class PMBCService:
             "pmbc_singleflight_shared_total",
             "Requests whose computation was shared via single-flight.",
         )
+        self._batch_size = m.histogram(
+            "pmbc_batch_size", "Requests per admitted batch."
+        )
         depth = m.gauge("pmbc_queue_depth", "Requests waiting in the queue.")
         depth.set_function(self._queue.qsize)
         self._inflight = m.gauge(
@@ -382,9 +523,9 @@ class PMBCService:
 
     def _settle(
         self,
-        request: _Request,
+        request: _Request | _BatchRequest,
         status: str,
-        result: QueryResult | None = None,
+        result: QueryResult | BatchResult | None = None,
         error: Exception | None = None,
     ) -> bool:
         """Resolve a request's future exactly once.
@@ -420,25 +561,55 @@ class PMBCService:
                 f"vertex {vertex} out of range for the {side.value} layer"
             )
 
+    def _coerce(
+        self,
+        side: Side | QueryRequest,
+        vertex: int | None,
+        tau_u: int,
+        tau_l: int,
+    ) -> QueryRequest:
+        """Normalize raw arguments or a :class:`QueryRequest`.
+
+        The raw-argument surface deliberately rejects non-``Side``
+        sides (no string coercion) — validation therefore runs *before*
+        a :class:`QueryRequest` is built from raw arguments.
+        """
+        if isinstance(side, QueryRequest):
+            if vertex is not None:
+                raise InvalidRequestError(
+                    "pass either a QueryRequest or raw arguments, not both"
+                )
+            request = side
+            self._validate(
+                request.side, request.vertex, request.tau_u, request.tau_l
+            )
+            return request
+        if vertex is None:
+            raise InvalidRequestError("query vertex is required")
+        self._validate(side, vertex, tau_u, tau_l)
+        return QueryRequest(side, vertex, tau_u, tau_l)
+
     def submit(
         self,
-        side: Side,
-        vertex: int,
+        side: Side | QueryRequest,
+        vertex: int | None = None,
         tau_u: int = 1,
         tau_l: int = 1,
         deadline: float | None = None,
     ) -> Future:
         """Admit a request; the Future resolves to a :class:`QueryResult`.
 
-        Raises immediately on invalid input, a full queue, or a closed
+        Accepts either raw ``(side, vertex, tau_u, tau_l)`` arguments
+        or a single :class:`~repro.core.query.QueryRequest`.  Raises
+        immediately on invalid input, a full queue, or a closed
         service — admission failures never consume a queue slot.
         """
         return self._admit(side, vertex, tau_u, tau_l, deadline).future
 
     def _admit(
         self,
-        side: Side,
-        vertex: int,
+        side: Side | QueryRequest,
+        vertex: int | None,
         tau_u: int,
         tau_l: int,
         deadline: float | None,
@@ -449,7 +620,7 @@ class PMBCService:
         if not self._workers:
             raise ServiceClosedError("service not started (call start())")
         try:
-            self._validate(side, vertex, tau_u, tau_l)
+            query_request = self._coerce(side, vertex, tau_u, tau_l)
         except InvalidRequestError:
             self._requests.inc(status="invalid")
             raise
@@ -461,10 +632,7 @@ class PMBCService:
             )
         now = time.monotonic()
         request = _Request(
-            side=side,
-            vertex=vertex,
-            tau_u=tau_u,
-            tau_l=tau_l,
+            request=query_request,
             deadline=None if budget is None else now + budget,
             enqueued_at=now,
         )
@@ -480,18 +648,20 @@ class PMBCService:
 
     def query(
         self,
-        side: Side,
-        vertex: int,
+        side: Side | QueryRequest,
+        vertex: int | None = None,
         tau_u: int = 1,
         tau_l: int = 1,
         deadline: float | None = None,
     ) -> QueryResult:
         """Admit a request and block for its answer.
 
-        The call returns (or raises :class:`DeadlineExceededError`)
-        within the request's deadline budget even when a worker is
-        still computing — the abandoned computation finishes in the
-        background and only warms the cache.
+        Accepts raw arguments or a single
+        :class:`~repro.core.query.QueryRequest`.  The call returns (or
+        raises :class:`DeadlineExceededError`) within the request's
+        deadline budget even when a worker is still computing — the
+        abandoned computation finishes in the background and only warms
+        the cache.
         """
         request = self._admit(side, vertex, tau_u, tau_l, deadline)
         budget = self.config.default_deadline if deadline is None else deadline
@@ -504,6 +674,80 @@ class PMBCService:
             # The worker settled in the same instant; take its outcome.
             return request.future.result()
 
+    def query_batch(
+        self,
+        requests,
+        deadline: float | None = None,
+    ) -> BatchResult:
+        """Admit many requests as one unit and block for all answers.
+
+        ``requests`` is a sequence of
+        :class:`~repro.core.query.QueryRequest` (or anything
+        ``QueryRequest.of`` accepts: dicts, tuples).  The batch
+        occupies a **single** queue slot and is answered by a single
+        backend walk; within the batch, requests are grouped by query
+        vertex so each distinct vertex's two-hop subgraph is extracted
+        at most once (see
+        :meth:`~repro.core.engine.PMBCQueryEngine.query_batch`).  The
+        deadline covers the whole batch.  Single-flight dedup does not
+        apply — vertex grouping already collapses duplicates inside
+        the batch.
+        """
+        batch = self._admit_batch(requests, deadline)
+        budget = self.config.default_deadline if deadline is None else deadline
+        try:
+            return batch.future.result(timeout=budget)
+        except FutureTimeoutError:
+            error = DeadlineExceededError(f"no batch answer within {budget}s")
+            if self._settle(batch, "deadline_exceeded", error=error):
+                raise error from None
+            return batch.future.result()
+
+    def _admit_batch(self, requests, deadline: float | None) -> _BatchRequest:
+        if self._closed:
+            self._requests.inc(status="closed")
+            raise ServiceClosedError("service is closed")
+        if not self._workers:
+            raise ServiceClosedError("service not started (call start())")
+        try:
+            coerced = []
+            for raw in requests:
+                try:
+                    request = QueryRequest.of(raw)
+                except (TypeError, ValueError) as exc:
+                    raise InvalidRequestError(str(exc)) from None
+                self._validate(
+                    request.side, request.vertex, request.tau_u, request.tau_l
+                )
+                coerced.append(request)
+            if not coerced:
+                raise InvalidRequestError("batch must contain >= 1 request")
+        except InvalidRequestError:
+            self._requests.inc(status="invalid")
+            raise
+        budget = self.config.default_deadline if deadline is None else deadline
+        if budget is not None and budget <= 0:
+            self._requests.inc(status="invalid")
+            raise InvalidRequestError(
+                f"deadline must be positive, got {budget}"
+            )
+        now = time.monotonic()
+        batch = _BatchRequest(
+            requests=tuple(coerced),
+            deadline=None if budget is None else now + budget,
+            enqueued_at=now,
+        )
+        self._batch_size.observe(len(coerced))
+        self._inflight.inc()
+        try:
+            self._queue.put_nowait(batch)
+        except queue.Full:
+            self._finish("queue_full")
+            raise QueueFullError(
+                f"request queue full ({self.config.max_queue} waiting)"
+            ) from None
+        return batch
+
     # ------------------------------------------------------------------
     # worker side
 
@@ -512,7 +756,10 @@ class PMBCService:
             request = self._queue.get()
             if request is None:  # poison pill
                 return
-            self._serve_one(request)
+            if isinstance(request, _BatchRequest):
+                self._serve_batch(request)
+            else:
+                self._serve_one(request)
 
     def _serve_one(self, request: _Request) -> None:
         if request.future.done():
@@ -567,18 +814,79 @@ class PMBCService:
         ):
             self._latency.observe(total)
 
+    def _serve_batch(self, batch: _BatchRequest) -> None:
+        if batch.future.done():
+            return
+        now = time.monotonic()
+        queue_seconds = now - batch.enqueued_at
+        self._queue_wait.observe(queue_seconds)
+        remaining = batch.remaining(now)
+        if remaining is not None and remaining <= 0:
+            self._settle(
+                batch,
+                "deadline_exceeded",
+                error=DeadlineExceededError("deadline expired in queue"),
+            )
+            return
+        try:
+            answers, backend_name = self._query_backends_batch(batch.requests)
+        except ServeError as exc:
+            self._settle(batch, "error", error=exc)
+            return
+        except Exception as exc:  # defensive: never kill a worker
+            self._settle(batch, "error", error=BackendError(str(exc)))
+            return
+        total = time.monotonic() - batch.enqueued_at
+        result = BatchResult(
+            bicliques=tuple(answers),
+            backend=backend_name,
+            queue_seconds=queue_seconds,
+            total_seconds=total,
+        )
+        status = "ok" if any(a is not None for a in answers) else "empty"
+        if self._settle(batch, status, result=result):
+            self._latency.observe(total)
+
     def _query_backends(
         self, request: _Request
     ) -> tuple[Biclique | None, str]:
         """Walk the degradation chain; return (answer, backend name)."""
+        side, vertex, tau_u, tau_l = request.key
         last_error: Exception | None = None
         for position, backend in enumerate(self._backends):
             self._backend_queries.inc(backend=backend.name)
             try:
-                answer = backend.query(
-                    request.side, request.vertex, request.tau_u, request.tau_l
-                )
+                answer = backend.query(side, vertex, tau_u, tau_l)
                 return answer, backend.name
+            except Exception as exc:
+                last_error = exc
+                nxt = self._backends[position + 1].name \
+                    if position + 1 < len(self._backends) else "none"
+                self._fallbacks.inc(**{"from": backend.name, "to": nxt})
+        raise BackendError(
+            f"all {len(self._backends)} backends failed "
+            f"(last: {last_error!r})"
+        )
+
+    def _query_backends_batch(
+        self, requests: tuple[QueryRequest, ...]
+    ) -> tuple[list[Biclique | None], str]:
+        """Batch variant of the degradation walk.
+
+        Backends without a ``query_batch`` method (e.g. test doubles)
+        are driven with a per-request loop.
+        """
+        last_error: Exception | None = None
+        for position, backend in enumerate(self._backends):
+            self._backend_queries.inc(backend=backend.name)
+            try:
+                batch_fn = getattr(backend, "query_batch", None)
+                if batch_fn is not None:
+                    return list(batch_fn(requests)), backend.name
+                return (
+                    [backend.query(*r.key) for r in requests],
+                    backend.name,
+                )
             except Exception as exc:
                 last_error = exc
                 nxt = self._backends[position + 1].name \
@@ -611,6 +919,17 @@ class PMBCService:
                 "capacity": self.config.max_queue,
             },
             "backends": list(self.backend_names),
+            "execution": {
+                "kind": self._executor.kind,
+                "workers": self._executor.num_workers,
+                "start_method": getattr(
+                    self._executor, "start_method", None
+                ),
+            },
+            "batch": {
+                "count": self._batch_size.count,
+                "mean_size": self._batch_size.mean(),
+            },
             "requests": {
                 "ok": self._requests.value(status="ok"),
                 "empty": self._requests.value(status="empty"),

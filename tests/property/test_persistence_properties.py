@@ -7,7 +7,7 @@ from hypothesis import given, settings, strategies as st
 from repro.core import build_index_star, pmbc_index_query
 from repro.core.dynamic import DynamicPMBCIndex
 from repro.core.index import PMBCIndex
-from repro.core.serialize import load_binary, save_binary
+from repro.core.serialize import read_binary, write_binary
 from repro.graph.bipartite import Side
 from repro.graph.builders import from_edges
 
@@ -60,8 +60,8 @@ def test_binary_roundtrip_preserves_all_answers(edges):
     index = build_index_star(graph)
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "index.bin"
-        save_binary(index, path)
-        loaded = load_binary(path)
+        write_binary(index, path)
+        loaded = read_binary(path)
     assert _all_answers(index, graph) == _all_answers(loaded, graph)
 
 

@@ -74,12 +74,13 @@ def test_extreme_constraints_do_not_crash(paper_graph):
 def test_interrupted_parallel_build_propagates_errors(monkeypatch):
     """A worker crash surfaces to the caller instead of hanging."""
     from repro.core import parallel as parallel_module
+    from repro.exec import tasks as tasks_module
 
     graph = paper_example_graph()
 
     def boom(*args, **kwargs):
         raise RuntimeError("injected fault")
 
-    monkeypatch.setattr(parallel_module, "build_search_tree", boom)
+    monkeypatch.setattr(tasks_module, "build_search_tree", boom)
     with pytest.raises(RuntimeError, match="injected fault"):
         parallel_module.build_index_parallel(graph, num_threads=2)
