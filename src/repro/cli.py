@@ -8,6 +8,10 @@ Subcommands:
   --tau-u 2 --tau-l 2`` — answer a personalized query (index-based when
   an index file is given, online otherwise); ``--batch-file`` answers
   many queries in one run with shared two-hop extraction;
+- ``pmbc explain <edges-file> Q TAU_U TAU_L`` — answer one query under
+  a search trace and print the human-readable report: two-hop subgraph
+  size, progressive-bounding rounds, Branch&Bound nodes, and prune
+  counts by rule (see docs/observability.md);
 - ``pmbc stats <edges-file>`` — graph and index statistics;
 - ``pmbc datasets`` — list the built-in dataset zoo;
 - ``pmbc serve <edges-file> [--index index.bin] [--execution
@@ -210,6 +214,66 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Answer one query under a trace and print the search report."""
+    from repro.obs import SearchTrace, render_trace, use_trace
+
+    if args.dataset:
+        from repro.datasets.zoo import load_dataset
+
+        graph = load_dataset(args.graph)
+    else:
+        graph = _load_graph(args.graph, args.konect)
+    side = args.side
+    if args.label is not None:
+        vertex = graph.vertex_by_label(side, args.label)
+    elif args.vertex is not None:
+        vertex = args.vertex
+    else:
+        print("error: provide a vertex (or --label)", file=sys.stderr)
+        return 2
+    trace = SearchTrace()
+    trace.annotate(
+        kind="query",
+        query={
+            "side": side.value,
+            "vertex": vertex,
+            "tau_u": args.tau_u,
+            "tau_l": args.tau_l,
+        },
+    )
+    with use_trace(trace):
+        if args.index:
+            index = _load_index(args.index)
+            result = pmbc_index_query(
+                index, side, vertex, args.tau_u, args.tau_l
+            )
+            backend = "index"
+        else:
+            result = pmbc_online_star(
+                graph, side, vertex, args.tau_u, args.tau_l
+            )
+            backend = "online_star"
+    trace.annotate(
+        backend=backend,
+        result=None
+        if result is None
+        else {"shape": list(result.shape), "edges": result.num_edges},
+    )
+    summary = trace.to_dict()
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(render_trace(summary))
+        if result is not None:
+            upper_labels, lower_labels = result.with_labels(graph)
+            print()
+            print("answer:")
+            print(f"  upper: {', '.join(sorted(map(str, upper_labels)))}")
+            print(f"  lower: {', '.join(sorted(map(str, lower_labels)))}")
+    return 0 if result is not None else 1
+
+
 def _cmd_topk(args: argparse.Namespace) -> int:
     from repro.core import pmbc_index_topk
 
@@ -387,6 +451,35 @@ def build_parser() -> argparse.ArgumentParser:
              "(grouped two-hop extraction; ignores --side/--vertex)",
     )
     p_query.set_defaults(fn=_cmd_query)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="trace one query and print the search report "
+             "(two-hop size, rounds, prune counts)",
+    )
+    p_explain.add_argument(
+        "graph", help="edge-list file, or a zoo name with --dataset"
+    )
+    p_explain.add_argument("vertex", nargs="?", type=int,
+                           help="query vertex id (or use --label)")
+    p_explain.add_argument("tau_u", nargs="?", type=int, default=1,
+                           help="minimum upper-layer size (default 1)")
+    p_explain.add_argument("tau_l", nargs="?", type=int, default=1,
+                           help="minimum lower-layer size (default 1)")
+    p_explain.add_argument("--side", type=_side, default=Side.UPPER,
+                           help="query vertex layer (default upper)")
+    p_explain.add_argument("--label",
+                           help="query by vertex label instead of id")
+    p_explain.add_argument("--dataset", action="store_true",
+                           help="graph argument is a built-in zoo name "
+                                "(see pmbc datasets)")
+    p_explain.add_argument("--konect", action="store_true")
+    p_explain.add_argument("--index",
+                           help="trace a PMBC-IQ index lookup instead of "
+                                "the online search")
+    p_explain.add_argument("--json", action="store_true",
+                           help="print the raw trace summary as JSON")
+    p_explain.set_defaults(fn=_cmd_explain)
 
     p_topk = sub.add_parser(
         "topk", help="k largest distinct personalized groups of a vertex"

@@ -70,6 +70,7 @@ class DynamicPMBCIndex:
         return self._snapshot
 
     def num_vertices_on(self, side: Side) -> int:
+        """Current vertex count on ``side`` (including isolated)."""
         return len(self._adj[side])
 
     def has_edge(self, u: int, v: int) -> bool:

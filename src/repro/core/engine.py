@@ -19,6 +19,7 @@ from repro.core.result import Biclique
 from repro.corenum.bounds import CoreBounds, compute_bounds
 from repro.graph.bipartite import BipartiteGraph, Side
 from repro.graph.subgraph import LocalGraph, two_hop_subgraph
+from repro.obs.trace import current_trace
 
 
 @dataclass(frozen=True)
@@ -33,6 +34,7 @@ class CacheStats:
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of two-hop lookups served from the cache."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
@@ -77,22 +79,27 @@ class PMBCQueryEngine:
 
     @property
     def graph(self) -> BipartiteGraph:
+        """The graph this engine answers queries over."""
         return self._graph
 
     @property
     def bounds(self) -> CoreBounds | None:
+        """Precomputed (α,β)-core bounds, or None when disabled."""
         return self._bounds
 
     @property
     def cache_hits(self) -> int:
+        """Two-hop cache hits since construction."""
         return self._hits
 
     @property
     def cache_misses(self) -> int:
+        """Two-hop cache misses since construction."""
         return self._misses
 
     @property
     def cache_evictions(self) -> int:
+        """LRU evictions from the two-hop cache since construction."""
         return self._evictions
 
     def cache_stats(self) -> CacheStats:
@@ -173,17 +180,28 @@ class PMBCQueryEngine:
 
     def _two_hop(self, side: Side, q: int) -> LocalGraph:
         key = (side, q)
+        trace = current_trace()
         with self._cache_lock:
             cached = self._locals.get(key)
             if cached is not None:
                 self._hits += 1
                 self._locals.move_to_end(key)
+                if trace.enabled:
+                    trace.add("cache_hits")
                 return cached
             self._misses += 1
         # Extraction runs outside the lock so concurrent workers on
         # *different* vertices never serialize (identical concurrent
         # queries are collapsed upstream by repro.serve's single-flight).
-        local = two_hop_subgraph(self._graph, side, q)
+        with trace.span("two_hop_extract"):
+            local = two_hop_subgraph(self._graph, side, q)
+        if trace.enabled:
+            trace.add("cache_misses")
+            trace.record_twohop(
+                local.num_upper,
+                local.num_lower,
+                sum(len(adj) for adj in local.adj_lower),
+            )
         with self._cache_lock:
             if key not in self._locals:
                 self._locals[key] = local

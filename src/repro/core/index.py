@@ -49,6 +49,7 @@ class SearchTree:
 
     @property
     def root(self) -> SearchTreeNode | None:
+        """The tree's root node, or None for an empty tree."""
         return self.nodes[0] if self.nodes else None
 
     def __len__(self) -> int:

@@ -18,6 +18,7 @@ from repro.graph.bipartite import BipartiteGraph, Side
 from repro.graph.subgraph import LocalGraph, two_hop_subgraph
 from repro.mbc.greedy import greedy_biclique
 from repro.mbc.progressive import SearchOptions, maximum_biclique_local
+from repro.obs.trace import current_trace
 
 
 def pmbc_online(
@@ -60,7 +61,10 @@ def pmbc_online(
     """
     side, q, tau_u, tau_l = as_request(side, q, tau_u, tau_l).key
     _validate_query(graph, side, q, tau_u, tau_l)
-    local = two_hop_subgraph(graph, side, q)
+    trace = current_trace()
+    with trace.span("two_hop_extract"):
+        local = two_hop_subgraph(graph, side, q)
+    _trace_twohop(trace, local)
     return pmbc_online_local(
         local,
         tau_u,
@@ -106,7 +110,10 @@ def pmbc_online_local(
         max_w=max_w,
         use_two_hop_reduction=use_two_hop_reduction,
     )
-    found = maximum_biclique_local(local, tau_p, tau_w, local_seed, options)
+    with current_trace().span("progressive_search"):
+        found = maximum_biclique_local(
+            local, tau_p, tau_w, local_seed, options
+        )
     if found is None:
         return None
     return _to_biclique(local, found)
@@ -181,12 +188,27 @@ def pmbc_online_batch(
             graph, request.side, request.vertex, request.tau_u, request.tau_l
         )
         if (request.side, request.vertex) != current:
-            local = two_hop_subgraph(graph, request.side, request.vertex)
+            trace = current_trace()
+            with trace.span("two_hop_extract"):
+                local = two_hop_subgraph(
+                    graph, request.side, request.vertex
+                )
+            _trace_twohop(trace, local)
             current = (request.side, request.vertex)
         results[i] = pmbc_online_local(
             local, request.tau_u, request.tau_l, bounds=bounds
         )
     return results
+
+
+def _trace_twohop(trace, local: LocalGraph) -> None:
+    """Record the size of a freshly extracted two-hop subgraph."""
+    if trace.enabled:
+        trace.record_twohop(
+            local.num_upper,
+            local.num_lower,
+            sum(len(adj) for adj in local.adj_lower),
+        )
 
 
 def _validate_query(

@@ -16,11 +16,12 @@ thin wrappers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.index import PMBCIndex
 from repro.core.result import Biclique
 from repro.graph.bipartite import Side
+from repro.obs.trace import current_trace
 
 
 @dataclass(frozen=True)
@@ -45,6 +46,12 @@ class QueryRequest:
     tau_u: int = 1
     tau_l: int = 1
 
+    trace_id: str | None = field(default=None, compare=False)
+    """Optional correlation id for observability.  Excluded from
+    equality/hash (and from :attr:`key`) so tracing never perturbs
+    caching or single-flight collapsing, and omitted from
+    :meth:`to_json` when unset."""
+
     def __post_init__(self) -> None:
         if isinstance(self.side, str):
             object.__setattr__(self, "side", Side(self.side.lower()))
@@ -56,6 +63,10 @@ class QueryRequest:
             value = getattr(self, name)
             if not isinstance(value, int) or isinstance(value, bool):
                 raise TypeError(f"{name} must be an int, got {value!r}")
+        if self.trace_id is not None and not isinstance(self.trace_id, str):
+            raise TypeError(
+                f"trace_id must be a string or None, got {self.trace_id!r}"
+            )
 
     @property
     def key(self) -> tuple[Side, int, int, int]:
@@ -63,13 +74,20 @@ class QueryRequest:
         return (self.side, self.vertex, self.tau_u, self.tau_l)
 
     def to_json(self) -> dict:
-        """A JSON-friendly representation (the HTTP wire shape)."""
-        return {
+        """A JSON-friendly representation (the HTTP wire shape).
+
+        ``trace_id`` is included only when set, so untraced requests
+        keep the historical four-key shape.
+        """
+        payload = {
             "side": self.side.value,
             "vertex": self.vertex,
             "tau_u": self.tau_u,
             "tau_l": self.tau_l,
         }
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
+        return payload
 
     @classmethod
     def of(cls, request) -> "QueryRequest":
@@ -87,6 +105,7 @@ class QueryRequest:
                 vertex=request["vertex"],
                 tau_u=request.get("tau_u", 1),
                 tau_l=request.get("tau_l", 1),
+                trace_id=request.get("trace_id"),
             )
         if isinstance(request, (tuple, list)) and 2 <= len(request) <= 4:
             return cls(*request)
@@ -182,13 +201,18 @@ def pmbc_index_query(
             f"query vertex {q} out of range for the {side.value} layer"
         )
     tree = trees[q]
+    trace = current_trace()
+    visited = 0
+    answer: Biclique | None = None
     node_id: int | None = 0 if tree.nodes else None
     while node_id is not None:
+        visited += 1
         node = tree.nodes[node_id]
         if node.biclique_id is not None:
             candidate = index.biclique(node.biclique_id)
             if candidate.satisfies(tau_u, tau_l):
-                return candidate
+                answer = candidate
+                break
         next_id: int | None = None
         for child_id in (node.left, node.right):
             if child_id is None:
@@ -198,4 +222,7 @@ def pmbc_index_query(
                 next_id = child_id
                 break
         node_id = next_id
-    return None
+    if trace.enabled:
+        trace.add("index_lookups")
+        trace.add("index_nodes_visited", visited)
+    return answer

@@ -337,8 +337,10 @@ def create_executor(
                 start_method=start_method,
             )
         except (RuntimeError, OSError, ValueError, BrokenProcessPool) as exc:
+            method = start_method or process_start_method()
             warnings.warn(
-                f"process execution unavailable ({exc}); "
+                f"requested {kind!r} execution is unavailable on this "
+                f"platform (start method: {method or 'none'}): {exc}; "
                 "falling back to the thread backend",
                 RuntimeWarning,
                 stacklevel=2,

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.graph.subgraph import LocalGraph
+from repro.obs.trace import current_trace
 
 
 @dataclass
@@ -69,15 +70,39 @@ class BranchBoundConfig:
 
 
 class _SearchState:
-    """Mutable incumbent shared across the recursion."""
+    """Mutable incumbent shared across the recursion.
 
-    __slots__ = ("best_upper", "best_lower", "best_size", "nodes")
+    Besides the incumbent, the state accumulates per-rule prune tallies
+    as plain integers — the near-zero-cost half of the tracing design:
+    the hot recursion only ever increments ints, and
+    :func:`branch_and_bound` flushes the totals to the active
+    :mod:`repro.obs` trace once per run (a no-op under the null trace).
+    """
+
+    __slots__ = (
+        "best_upper",
+        "best_lower",
+        "best_size",
+        "nodes",
+        "skip_suffix",
+        "drop_prefix",
+        "skip_tau",
+        "prune_shape",
+        "prune_dominated",
+        "prune_bound",
+    )
 
     def __init__(self, best_size: int) -> None:
         self.best_upper: frozenset[int] | None = None
         self.best_lower: frozenset[int] | None = None
         self.best_size = best_size
         self.nodes = 0
+        self.skip_suffix = 0      # Lemma 9 suffix bound skipped v*
+        self.drop_prefix = 0      # Lemma 9 prefix bound dropped u from P'
+        self.skip_tau = 0         # P' fell below tau_p
+        self.prune_shape = 0      # Lemma 6 cap on |W'|
+        self.prune_dominated = 0  # excluded vertex dominates (non-maximal)
+        self.prune_bound = 0      # size bound: cannot beat the incumbent
 
 
 def branch_and_bound(
@@ -100,6 +125,16 @@ def branch_and_bound(
         range(local.num_lower), key=local.degree_lower, reverse=True
     )
     _recurse(local, config, state, p_all, frozenset(), candidates, [])
+    trace = current_trace()
+    if trace.enabled:
+        trace.add("bb_calls")
+        trace.add("bb_nodes", state.nodes)
+        trace.prune("core_suffix_bound", state.skip_suffix)
+        trace.prune("core_prefix_bound", state.drop_prefix)
+        trace.prune("tau_filter", state.skip_tau)
+        trace.prune("shape_cap", state.prune_shape)
+        trace.prune("non_maximal", state.prune_dominated)
+        trace.prune("size_bound", state.prune_bound)
     if state.best_upper is None:
         return None
     return state.best_upper, state.best_lower
@@ -124,6 +159,7 @@ def _recurse(
         # vertex of anything recorded below.
         if config.lower_bound_at_least is not None:
             if config.lower_bound_at_least(v_star, len(w) + 1) <= state.best_size:
+                state.skip_suffix += 1
                 x_current.append(v_star)
                 continue
 
@@ -136,7 +172,9 @@ def _recurse(
                 if u == config.protected_upper
                 or config.upper_bound_at_most(u, limit) > state.best_size
             )
+            state.drop_prefix += limit - len(p_new)
         if len(p_new) < config.tau_p:
+            state.skip_tau += 1
             x_current.append(v_star)
             continue
 
@@ -152,6 +190,7 @@ def _recurse(
                 r_new.append(v)
 
         if config.max_w is not None and len(w_new) > config.max_w:
+            state.prune_shape += 1
             x_current.append(v_star)
             continue
 
@@ -166,6 +205,7 @@ def _recurse(
             if overlap >= config.tau_p:
                 x_new.append(v)
         if config.prune_non_maximal and dominated:
+            state.prune_dominated += 1
             x_current.append(v_star)
             continue
 
@@ -184,6 +224,8 @@ def _recurse(
             _recurse(
                 local, config, state, p_new, frozenset(w_new), r_new, x_new
             )
+        else:
+            state.prune_bound += 1
         x_current.append(v_star)
 
 

@@ -31,6 +31,7 @@ from repro.corenum.bounds import CoreBounds
 from repro.graph.subgraph import LocalGraph
 from repro.mbc.branch_bound import BranchBoundConfig, branch_and_bound
 from repro.mbc.reductions import reduce_preserving_maximum
+from repro.obs.trace import current_trace
 
 
 @dataclass
@@ -81,20 +82,46 @@ def maximum_biclique_local(
 
     anchored = local.q_local is not None
     bounds = options.bounds
+    trace = current_trace()
     while True:
         tau_p_k = max(best_size // floor_w, tau_p)
         tau_w_k = max(floor_w // 2, tau_w)
+        if trace.enabled:
+            trace.add("progressive_rounds")
+            nodes_before = trace.counters.get("bb_nodes", 0)
+            round_info: dict[str, int] = {
+                "tau_p": tau_p_k,
+                "tau_w": tau_w_k,
+            }
 
         working = local
         if bounds is not None:
             working = _prune_by_z(working, bounds, best_size, anchored)
+            if trace.enabled:
+                kept = (
+                    0
+                    if working is None
+                    else working.num_upper + working.num_lower
+                )
+                trace.prune(
+                    "core_z_bound",
+                    local.num_upper + local.num_lower - kept,
+                )
         if working is not None:
+            before = working.num_upper + working.num_lower
             working = reduce_preserving_maximum(
                 working,
                 tau_p_k,
                 tau_w_k,
                 use_two_hop=options.use_two_hop_reduction,
             )
+            if trace.enabled:
+                trace.prune(
+                    "reduction",
+                    before - working.num_upper - working.num_lower,
+                )
+                round_info["working_upper"] = working.num_upper
+                round_info["working_lower"] = working.num_lower
             if not anchored or working.q_local is not None:
                 found = _run_branch_bound(
                     working, tau_p_k, tau_w_k, best_size, options
@@ -102,6 +129,12 @@ def maximum_biclique_local(
                 if found is not None:
                     best = _map_back(local, working, found)
                     best_size = len(best[0]) * len(best[1])
+        if trace.enabled:
+            round_info["nodes"] = (
+                trace.counters.get("bb_nodes", 0) - nodes_before
+            )
+            round_info["best_size"] = best_size
+            trace.add_round(**round_info)
         if tau_w_k <= tau_w:
             break
         floor_w = tau_w_k

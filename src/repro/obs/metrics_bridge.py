@@ -1,0 +1,111 @@
+"""Feed aggregated trace counters into a metrics registry.
+
+``repro.obs`` is dependency-free, so the registry is duck-typed: any
+object with ``counter(name, help) -> .inc(amount, **labels)`` and
+``histogram(name, help, buckets) -> .observe(value)`` works — in
+practice :class:`repro.serve.metrics.MetricsRegistry`.  The serving
+layer calls :func:`publish_trace` once per computation, turning
+per-query traces into the fleet-level series scraped from
+``/metrics``:
+
+- ``pmbc_search_nodes_total`` — Branch&Bound nodes expanded;
+- ``pmbc_prune_total{rule=...}`` — prune counts by rule (the glossary
+  in :data:`repro.obs.trace.PRUNE_RULES`);
+- ``pmbc_twohop_size`` — histogram of extracted ``|H_q|`` vertex
+  counts;
+- ``pmbc_progressive_rounds_total``, ``pmbc_index_tree_visits_total``,
+  ``pmbc_traces_total`` — supporting series.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TWOHOP_SIZE_BUCKETS", "publish_trace", "register_search_metrics"]
+
+#: Buckets for the ``pmbc_twohop_size`` histogram — vertex counts of
+#: extracted two-hop subgraphs, spanning leaf vertices through hubs.
+TWOHOP_SIZE_BUCKETS: tuple[float, ...] = (
+    2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+)
+
+_HELP = {
+    "pmbc_search_nodes_total": "Branch&Bound nodes expanded.",
+    "pmbc_prune_total": "Search prunes by rule (see docs/observability.md).",
+    "pmbc_twohop_size": "Vertices in extracted two-hop subgraphs.",
+    "pmbc_progressive_rounds_total": "Progressive-bounding rounds run.",
+    "pmbc_index_tree_visits_total": "PMBC-IQ search-tree nodes visited.",
+    "pmbc_traces_total": "Trace summaries published.",
+}
+
+
+def register_search_metrics(registry) -> None:
+    """Pre-register the search metrics so ``/metrics`` always shows them.
+
+    Parameters
+    ----------
+    registry:
+        A duck-typed metrics registry (see module docstring).
+        Registering up front also pins the ``pmbc_twohop_size``
+        buckets before any publisher races to create the histogram.
+    """
+    registry.counter("pmbc_search_nodes_total", _HELP["pmbc_search_nodes_total"])
+    registry.counter("pmbc_prune_total", _HELP["pmbc_prune_total"])
+    registry.histogram(
+        "pmbc_twohop_size",
+        _HELP["pmbc_twohop_size"],
+        buckets=TWOHOP_SIZE_BUCKETS,
+    )
+    registry.counter(
+        "pmbc_progressive_rounds_total",
+        _HELP["pmbc_progressive_rounds_total"],
+    )
+    registry.counter(
+        "pmbc_index_tree_visits_total", _HELP["pmbc_index_tree_visits_total"]
+    )
+    registry.counter("pmbc_traces_total", _HELP["pmbc_traces_total"])
+
+
+def publish_trace(summary: dict, registry) -> None:
+    """Aggregate one trace summary into ``registry``.
+
+    Parameters
+    ----------
+    summary:
+        A :meth:`repro.obs.trace.SearchTrace.to_dict` mapping (missing
+        counters count as zero).
+    registry:
+        The duck-typed metrics registry to publish into.
+    """
+    counters = summary.get("counters") or {}
+    registry.counter("pmbc_traces_total", _HELP["pmbc_traces_total"]).inc()
+    nodes = counters.get("bb_nodes", 0)
+    if nodes:
+        registry.counter(
+            "pmbc_search_nodes_total", _HELP["pmbc_search_nodes_total"]
+        ).inc(nodes)
+    prune_counter = registry.counter(
+        "pmbc_prune_total", _HELP["pmbc_prune_total"]
+    )
+    for rule, count in (summary.get("prunes") or {}).items():
+        if count:
+            prune_counter.inc(count, rule=rule)
+    extractions = counters.get("twohop_extractions", 0)
+    if extractions:
+        # Batches accumulate sizes over several extractions; observe
+        # the mean so the histogram stays a per-extraction measure.
+        registry.histogram(
+            "pmbc_twohop_size",
+            _HELP["pmbc_twohop_size"],
+            buckets=TWOHOP_SIZE_BUCKETS,
+        ).observe(counters.get("twohop_vertices", 0) / extractions)
+    rounds = counters.get("progressive_rounds", 0)
+    if rounds:
+        registry.counter(
+            "pmbc_progressive_rounds_total",
+            _HELP["pmbc_progressive_rounds_total"],
+        ).inc(rounds)
+    visits = counters.get("index_nodes_visited", 0)
+    if visits:
+        registry.counter(
+            "pmbc_index_tree_visits_total",
+            _HELP["pmbc_index_tree_visits_total"],
+        ).inc(visits)

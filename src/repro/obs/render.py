@@ -1,0 +1,145 @@
+"""Render a trace summary as a human-readable search report.
+
+Used by ``pmbc explain`` and handy in a REPL::
+
+    print(render_trace(trace.to_dict()))
+
+The input is the JSON shape produced by
+:meth:`repro.obs.trace.SearchTrace.to_dict` (also what ``?explain=1``
+and ``/debug/traces`` return), so reports can be rendered server-side
+or from a saved trace alike.
+"""
+
+from __future__ import annotations
+
+from repro.obs.trace import PRUNE_RULES
+
+__all__ = ["render_trace"]
+
+#: Counters surfaced in the "search" section, in display order.
+_SEARCH_COUNTERS = (
+    ("progressive_rounds", "progressive-bounding rounds"),
+    ("bb_calls", "Branch&Bound invocations"),
+    ("bb_nodes", "Branch&Bound nodes expanded"),
+    ("index_lookups", "index lookups (PMBC-IQ)"),
+    ("index_nodes_visited", "index tree nodes visited"),
+    ("cache_hits", "engine two-hop cache hits"),
+    ("cache_misses", "engine two-hop cache misses"),
+)
+
+
+def _fmt_count(value: int) -> str:
+    return f"{value:,}"
+
+
+def render_trace(summary: dict) -> str:
+    """Format one trace summary as a multi-line report.
+
+    Parameters
+    ----------
+    summary:
+        A ``SearchTrace.to_dict()`` mapping.  Missing sections render
+        as absent rather than failing, so partial traces (e.g. an
+        index-only lookup with no search) still produce a report.
+
+    Returns
+    -------
+    str
+        The report text, ending without a trailing newline.
+    """
+    lines: list[str] = []
+    meta = summary.get("meta") or {}
+    counters = summary.get("counters") or {}
+    prunes = summary.get("prunes") or {}
+
+    header = f"trace {summary.get('trace_id', '?')}"
+    if "backend" in meta:
+        header += f"  backend={meta['backend']}"
+    if "elapsed_ms" in summary:
+        header += f"  elapsed={summary['elapsed_ms']:.3f} ms"
+    lines.append(header)
+
+    query = meta.get("query")
+    if query:
+        lines.append(
+            "query: side={side} vertex={vertex} "
+            "tau_u={tau_u} tau_l={tau_l}".format(**query)
+        )
+    if "result" in meta:
+        result = meta["result"]
+        if result is None:
+            lines.append("result: none (no biclique meets the constraints)")
+        else:
+            lines.append(
+                f"result: {result['shape'][0]}x{result['shape'][1]} "
+                f"biclique, {result['edges']} edges"
+            )
+
+    if counters.get("twohop_extractions"):
+        lines.append("")
+        lines.append("two-hop subgraph H_q (Lemma 1):")
+        lines.append(
+            f"  |upper|={_fmt_count(counters.get('twohop_upper', 0))}"
+            f"  |lower|={_fmt_count(counters.get('twohop_lower', 0))}"
+            f"  |vertices|={_fmt_count(counters.get('twohop_vertices', 0))}"
+            f"  |edges|={_fmt_count(counters.get('twohop_edges', 0))}"
+            f"  extractions={_fmt_count(counters['twohop_extractions'])}"
+        )
+
+    search_lines = [
+        f"  {label}: {_fmt_count(counters[name])}"
+        for name, label in _SEARCH_COUNTERS
+        if name in counters
+    ]
+    if search_lines:
+        lines.append("")
+        lines.append("search:")
+        lines.extend(search_lines)
+
+    rounds = summary.get("rounds") or []
+    if rounds:
+        lines.append("")
+        lines.append(
+            "progressive bounding rounds "
+            "(floors are local: tau_p upper / tau_w lower):"
+        )
+        lines.append(
+            "  round  tau_p  tau_w   working(UxL)      nodes   best"
+        )
+        for i, rnd in enumerate(rounds, 1):
+            working = "-"
+            if "working_upper" in rnd:
+                working = (
+                    f"{rnd['working_upper']}x{rnd.get('working_lower', '?')}"
+                )
+            lines.append(
+                f"  {i:>5}  {rnd.get('tau_p', '?'):>5}  "
+                f"{rnd.get('tau_w', '?'):>5}   {working:<14}  "
+                f"{rnd.get('nodes', 0):>7}   {rnd.get('best_size', 0)}"
+            )
+
+    if prunes:
+        lines.append("")
+        lines.append("pruning (what cut the search):")
+        width = max(len(rule) for rule in prunes)
+        for rule, count in sorted(
+            prunes.items(), key=lambda kv: -kv[1]
+        ):
+            anchor, description = PRUNE_RULES.get(rule, ("", rule))
+            tag = f" [{anchor}]" if anchor else ""
+            lines.append(
+                f"  {rule:<{width}}  {_fmt_count(count):>9}{tag}"
+                f"  {description}"
+            )
+
+    spans = summary.get("spans") or []
+    if spans:
+        lines.append("")
+        lines.append("timings:")
+        for span in spans:
+            lines.append(
+                f"  {span.get('name', '?'):<22} "
+                f"{span.get('ms', 0.0):>10.3f} ms"
+            )
+
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""A bounded, thread-safe ring buffer of completed trace summaries.
+
+The serving layer appends one summary per computation (single-flight
+leader or batch); ``GET /debug/traces`` reads them back most-recent
+first.  The buffer holds plain dicts (the ``SearchTrace.to_dict()``
+shape), so snapshots are JSON-ready and never retain live trace
+objects.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+__all__ = ["TraceRing"]
+
+
+class TraceRing:
+    """Keep the last ``capacity`` trace summaries.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum summaries retained; appending beyond it evicts the
+        oldest.  Must be >= 1.
+
+    Raises
+    ------
+    ValueError
+        If ``capacity`` is < 1.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: deque[dict] = deque(maxlen=capacity)
+        self._total = 0
+
+    def append(self, summary: dict) -> None:
+        """Store one trace summary (oldest entry evicted when full)."""
+        with self._lock:
+            self._entries.append(summary)
+            self._total += 1
+
+    def snapshot(self, limit: int | None = None) -> list[dict]:
+        """The stored summaries, most recent first.
+
+        Parameters
+        ----------
+        limit:
+            Return at most this many entries (all when omitted).
+        """
+        with self._lock:
+            entries = list(self._entries)
+        entries.reverse()
+        if limit is not None and limit >= 0:
+            entries = entries[:limit]
+        return entries
+
+    def find(self, trace_id: str) -> dict | None:
+        """The most recent summary with the given id, or None."""
+        for entry in self.snapshot():
+            if entry.get("trace_id") == trace_id:
+                return entry
+        return None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def total_recorded(self) -> int:
+        """How many summaries were ever appended (including evicted)."""
+        with self._lock:
+            return self._total

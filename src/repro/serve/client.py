@@ -103,12 +103,15 @@ class PMBCClient:
         label: str | None = None,
         deadline: float | None = None,
         verify: bool = False,
+        explain: bool = False,
     ) -> dict:
         """POST ``/query``; returns the decoded response payload.
 
         ``side`` may be a single
         :class:`~repro.core.query.QueryRequest` replacing the
-        ``side``/``vertex``/``tau_u``/``tau_l`` arguments.  Raises the
+        ``side``/``vertex``/``tau_u``/``tau_l`` arguments.  With
+        ``explain=True`` the payload carries a ``"trace"`` key — the
+        search-trace summary (see docs/observability.md).  Raises the
         matching :class:`~repro.serve.service.ServeError` subclass on a
         non-200 answer.
         """
@@ -130,12 +133,15 @@ class PMBCClient:
             payload["deadline"] = deadline
         if verify:
             payload["verify"] = True
+        if explain:
+            payload["explain"] = True
         return self._json("/query", payload)
 
     def query_batch(
         self,
         queries,
         deadline: float | None = None,
+        explain: bool = False,
     ) -> dict:
         """POST ``/query_batch``; returns the decoded batch payload.
 
@@ -143,7 +149,8 @@ class PMBCClient:
         :class:`~repro.core.query.QueryRequest`, dicts (``side`` plus
         ``vertex`` or ``label``, optional ``tau_u``/``tau_l``), or
         ``(side, vertex[, tau_u[, tau_l]])`` tuples.  The whole batch
-        shares one admission and one ``deadline`` on the server.
+        shares one admission and one ``deadline`` on the server; with
+        ``explain=True`` the payload carries the batch's ``"trace"``.
         """
         items: list[dict] = []
         for query in queries:
@@ -156,6 +163,8 @@ class PMBCClient:
         payload: dict = {"queries": items}
         if deadline is not None:
             payload["deadline"] = deadline
+        if explain:
+            payload["explain"] = True
         return self._json("/query_batch", payload)
 
     def query_get(self, **params) -> dict:
@@ -163,13 +172,37 @@ class PMBCClient:
         return self._json("/query?" + urlencode(params))
 
     def healthz(self) -> bool:
+        """GET ``/healthz``; True when the service reports healthy."""
         status, __ = self._request("/healthz")
         return status == 200
 
     def stats(self) -> dict:
+        """GET ``/stats``; the service's JSON snapshot."""
         return self._json("/stats")
 
+    def debug_traces(
+        self, limit: int | None = None, trace_id: str | None = None
+    ) -> dict:
+        """GET ``/debug/traces``: recent trace summaries or one by id.
+
+        Parameters
+        ----------
+        limit:
+            Return at most this many summaries (server default 20).
+        trace_id:
+            Fetch one specific trace instead; raises
+            :class:`RemoteServiceError` subclasses on 404.
+        """
+        params: dict = {}
+        if trace_id is not None:
+            params["id"] = trace_id
+        elif limit is not None:
+            params["limit"] = limit
+        query = ("?" + urlencode(params)) if params else ""
+        return self._json("/debug/traces" + query)
+
     def metrics(self) -> str:
+        """GET ``/metrics``; the Prometheus text exposition."""
         status, body = self._request("/metrics")
         if status != 200:
             raise RemoteServiceError(f"/metrics answered HTTP {status}")

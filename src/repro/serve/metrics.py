@@ -52,6 +52,7 @@ class Counter:
         self._series: dict[tuple[tuple[str, str], ...], float] = {}
 
     def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (>= 0) to the series keyed by ``labels``."""
         if amount < 0:
             raise ValueError(f"counter increment must be >= 0, got {amount}")
         key = tuple(sorted(labels.items()))
@@ -59,6 +60,7 @@ class Counter:
             self._series[key] = self._series.get(key, 0.0) + amount
 
     def value(self, **labels: str) -> float:
+        """Current value of the series keyed by ``labels`` (0 if unseen)."""
         key = tuple(sorted(labels.items()))
         with self._lock:
             return self._series.get(key, 0.0)
@@ -69,6 +71,7 @@ class Counter:
             return sum(self._series.values())
 
     def collect(self) -> list[str]:
+        """Exposition lines for this counter in Prometheus text format."""
         lines = []
         if self.help_text:
             lines.append(f"# HELP {self.name} {self.help_text}")
@@ -93,14 +96,17 @@ class Gauge:
         self._fn = None
 
     def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
         with self._lock:
             self._value = value
 
     def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` to the gauge."""
         with self._lock:
             self._value += amount
 
     def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge."""
         with self._lock:
             self._value -= amount
 
@@ -109,12 +115,14 @@ class Gauge:
         self._fn = fn
 
     def value(self) -> float:
+        """Current gauge value (calls the function for live gauges)."""
         if self._fn is not None:
             return float(self._fn())
         with self._lock:
             return self._value
 
     def collect(self) -> list[str]:
+        """Exposition lines for this gauge in Prometheus text format."""
         lines = []
         if self.help_text:
             lines.append(f"# HELP {self.name} {self.help_text}")
@@ -149,6 +157,7 @@ class Histogram:
         self._count = 0
 
     def observe(self, value: float) -> None:
+        """Record one observation into its bucket."""
         idx = bisect_left(self.buckets, value)
         with self._lock:
             self._counts[idx] += 1
@@ -157,15 +166,18 @@ class Histogram:
 
     @property
     def count(self) -> int:
+        """Number of observations recorded."""
         with self._lock:
             return self._count
 
     @property
     def sum(self) -> float:
+        """Sum of all observed values."""
         with self._lock:
             return self._sum
 
     def mean(self) -> float:
+        """Arithmetic mean of observations (0 when empty)."""
         with self._lock:
             return self._sum / self._count if self._count else 0.0
 
@@ -204,6 +216,7 @@ class Histogram:
         }
 
     def collect(self) -> list[str]:
+        """Exposition lines for this histogram in Prometheus text format."""
         lines = []
         if self.help_text:
             lines.append(f"# HELP {self.name} {self.help_text}")
@@ -249,9 +262,11 @@ class MetricsRegistry:
             return metric
 
     def counter(self, name: str, help_text: str = "") -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
         return self._register(name, lambda: Counter(name, help_text), Counter)
 
     def gauge(self, name: str, help_text: str = "") -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
         return self._register(name, lambda: Gauge(name, help_text), Gauge)
 
     def histogram(
@@ -260,11 +275,13 @@ class MetricsRegistry:
         help_text: str = "",
         buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
     ) -> Histogram:
+        """The histogram registered under ``name`` (created on first use)."""
         return self._register(
             name, lambda: Histogram(name, help_text, buckets), Histogram
         )
 
     def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """Look up a metric by name without creating it."""
         with self._lock:
             return self._metrics.get(name)
 

@@ -11,7 +11,13 @@ Endpoints:
   batch by query vertex so shared two-hop extractions are paid once;
 - ``GET /healthz`` — liveness;
 - ``GET /metrics`` — Prometheus-style text exposition;
-- ``GET /stats`` — JSON service snapshot.
+- ``GET /stats`` — JSON service snapshot;
+- ``GET /debug/traces`` — recent search-trace summaries, most recent
+  first (``limit=N`` truncates, ``id=...`` fetches one trace by id).
+
+``explain=1`` on ``/query`` (or ``"explain": true`` in a POST body /
+batch body) attaches the computation's search trace to the response —
+see docs/observability.md.
 
 Service errors map to HTTP statuses: invalid request → 400, queue full
 → 429 (with ``Retry-After``), deadline exceeded → 504, shutting down →
@@ -74,6 +80,14 @@ def _parse_float(params: dict, name: str) -> float | None:
         ) from None
 
 
+def _parse_flag(params: dict, name: str) -> bool:
+    """Truthiness of a query/body flag (``1``/``true``/``yes``/JSON true)."""
+    raw = params.get(name, "")
+    if isinstance(raw, bool):
+        return raw
+    return str(raw).lower() in ("1", "true", "yes")
+
+
 class PMBCRequestHandler(BaseHTTPRequestHandler):
     """Routes HTTP requests onto the owning server's ``service``."""
 
@@ -85,9 +99,11 @@ class PMBCRequestHandler(BaseHTTPRequestHandler):
 
     @property
     def service(self) -> PMBCService:
+        """The PMBCService this handler dispatches into."""
         return self.server.service  # type: ignore[attr-defined]
 
     def log_message(self, format: str, *args) -> None:
+        """Suppress per-request stderr logging unless verbose."""
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
@@ -129,6 +145,7 @@ class PMBCRequestHandler(BaseHTTPRequestHandler):
     # routing
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        """Route GET requests (healthz/metrics/stats/query/debug)."""
         parsed = urlparse(self.path)
         route = parsed.path.rstrip("/") or "/"
         if route == "/healthz":
@@ -137,6 +154,12 @@ class PMBCRequestHandler(BaseHTTPRequestHandler):
             self._handle_metrics()
         elif route == "/stats":
             self._handle_stats()
+        elif route == "/debug/traces":
+            params = {
+                key: values[-1]
+                for key, values in parse_qs(parsed.query).items()
+            }
+            self._handle_debug_traces(params)
         elif route == "/query":
             params = {
                 key: values[-1]
@@ -149,6 +172,7 @@ class PMBCRequestHandler(BaseHTTPRequestHandler):
             )
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        """Route POST requests (/query and /query_batch)."""
         parsed = urlparse(self.path)
         route = parsed.path.rstrip("/")
         if route not in ("/query", "/query_batch"):
@@ -189,6 +213,37 @@ class PMBCRequestHandler(BaseHTTPRequestHandler):
     def _handle_stats(self) -> None:
         self._send_json(200, self.service.stats())
 
+    def _handle_debug_traces(self, params: dict) -> None:
+        trace_id = params.get("id")
+        if trace_id is not None:
+            trace = self.service.traces.find(str(trace_id))
+            if trace is None:
+                self._send_json(
+                    404,
+                    {
+                        "error": "NotFound",
+                        "detail": f"no buffered trace {trace_id!r}",
+                    },
+                )
+                return
+            self._send_json(200, {"trace": trace})
+            return
+        try:
+            limit = _parse_int(params, "limit", default=20)
+        except ServeError as exc:
+            self._send_error_json(exc)
+            return
+        ring = self.service.traces
+        self._send_json(
+            200,
+            {
+                "buffered": len(ring),
+                "capacity": ring.capacity,
+                "recorded": ring.total_recorded,
+                "traces": ring.snapshot(limit=limit),
+            },
+        )
+
     def _handle_query(self, params: dict) -> None:
         service = self.service
         try:
@@ -206,11 +261,18 @@ class PMBCRequestHandler(BaseHTTPRequestHandler):
             tau_u = _parse_int(params, "tau_u", default=1)
             tau_l = _parse_int(params, "tau_l", default=1)
             deadline = _parse_float(params, "deadline")
-            verify = str(params.get("verify", "")).lower() in (
-                "1", "true", "yes",
+            verify = _parse_flag(params, "verify")
+            explain = _parse_flag(params, "explain")
+            trace_id = params.get("trace_id")
+            request = QueryRequest(
+                side,
+                vertex,
+                tau_u,
+                tau_l,
+                trace_id=str(trace_id) if trace_id else None,
             )
             result = service.query(
-                side, vertex, tau_u, tau_l, deadline=deadline
+                request, deadline=deadline, explain=explain
             )
         except ServeError as exc:
             self._send_error_json(exc)
@@ -252,28 +314,31 @@ class PMBCRequestHandler(BaseHTTPRequestHandler):
                 for position, item in enumerate(queries)
             ]
             deadline = _parse_float(params, "deadline")
-            result = service.query_batch(requests, deadline=deadline)
+            explain = _parse_flag(params, "explain")
+            result = service.query_batch(
+                requests, deadline=deadline, explain=explain
+            )
         except ServeError as exc:
             self._send_error_json(exc)
             return
-        self._send_json(
-            200,
-            {
-                "backend": result.backend,
-                "count": len(result),
-                "queue_ms": result.queue_seconds * 1e3,
-                "total_ms": result.total_seconds * 1e3,
-                "results": [
-                    {
-                        "query": request.to_json(),
-                        "result": self._render_biclique(biclique),
-                    }
-                    for request, biclique in zip(
-                        requests, result.bicliques
-                    )
-                ],
-            },
-        )
+        payload = {
+            "backend": result.backend,
+            "count": len(result),
+            "queue_ms": result.queue_seconds * 1e3,
+            "total_ms": result.total_seconds * 1e3,
+            "results": [
+                {
+                    "query": request.to_json(),
+                    "result": self._render_biclique(biclique),
+                }
+                for request, biclique in zip(
+                    requests, result.bicliques
+                )
+            ],
+        }
+        if result.trace is not None:
+            payload["trace"] = result.trace
+        self._send_json(200, payload)
 
     def _render_biclique(self, biclique) -> dict | None:
         if biclique is None:
@@ -309,6 +374,8 @@ class PMBCRequestHandler(BaseHTTPRequestHandler):
         }
         biclique = result.biclique
         payload["result"] = self._render_biclique(biclique)
+        if result.trace is not None:
+            payload["trace"] = result.trace
         if verify:
             check = check_personalized_answer(
                 self.service.graph, side, vertex, tau_u, tau_l, biclique
@@ -344,10 +411,12 @@ class PMBCServer:
 
     @property
     def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` pair."""
         return self._httpd.server_address[:2]
 
     @property
     def url(self) -> str:
+        """Base URL of the bound socket."""
         host, port = self.address
         return f"http://{host}:{port}"
 
@@ -363,6 +432,7 @@ class PMBCServer:
         return self
 
     def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown`."""
         self._httpd.serve_forever()
 
     def shutdown(self) -> None:

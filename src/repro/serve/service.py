@@ -56,6 +56,9 @@ from repro.exec.executor import (
 )
 from repro.exec.tasks import WorkerState
 from repro.graph.bipartite import BipartiteGraph, Side
+from repro.obs.metrics_bridge import publish_trace, register_search_metrics
+from repro.obs.ring import TraceRing
+from repro.obs.trace import SearchTrace, current_trace, use_trace
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.singleflight import SingleFlight, SingleFlightTimeout
 
@@ -137,6 +140,8 @@ class ServiceConfig:
     exec_workers:
         Process-pool size for ``execution="process"``; defaults to
         ``num_workers``.
+    trace_ring_size:
+        How many recent trace summaries ``/debug/traces`` retains.
     """
 
     num_workers: int = 8
@@ -146,6 +151,7 @@ class ServiceConfig:
     use_core_bounds: bool = True
     execution: str = "thread"
     exec_workers: int | None = None
+    trace_ring_size: int = 256
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -167,6 +173,10 @@ class ServiceConfig:
             raise ValueError(
                 f"exec_workers must be >= 1, got {self.exec_workers}"
             )
+        if self.trace_ring_size < 1:
+            raise ValueError(
+                f"trace_ring_size must be >= 1, got {self.trace_ring_size}"
+            )
 
 
 @dataclass(frozen=True)
@@ -178,6 +188,7 @@ class QueryResult:
     shared: bool            # single-flight collapsed this request
     queue_seconds: float    # admission -> worker pickup
     total_seconds: float    # admission -> answer
+    trace: dict | None = None   # search trace summary (explain requests)
 
 
 @dataclass(frozen=True)
@@ -188,6 +199,7 @@ class BatchResult:
     backend: str
     queue_seconds: float    # admission -> worker pickup
     total_seconds: float    # admission -> answer
+    trace: dict | None = None   # search trace summary (explain requests)
 
     def __len__(self) -> int:
         return len(self.bicliques)
@@ -198,6 +210,7 @@ class _Request:
     request: QueryRequest
     deadline: float | None          # absolute, time.monotonic() clock
     enqueued_at: float
+    explain: bool = False
     future: Future = field(default_factory=Future)
 
     @property
@@ -213,6 +226,7 @@ class _BatchRequest:
     requests: tuple[QueryRequest, ...]
     deadline: float | None          # absolute, time.monotonic() clock
     enqueued_at: float
+    explain: bool = False
     future: Future = field(default_factory=Future)
 
     def remaining(self, now: float) -> float | None:
@@ -255,12 +269,29 @@ class _ExecBackend:
     def query(
         self, side: Side, vertex: int, tau_u: int, tau_l: int
     ) -> Biclique | None:
-        return self.executor.run(
-            "query", QueryRequest(side, vertex, tau_u, tau_l)
-        )
+        request = QueryRequest(side, vertex, tau_u, tau_l)
+        if self.executor.kind != "process":
+            # Thread execution runs in the calling thread, so the
+            # active trace propagates through the context variable.
+            return self.executor.run("query", request)
+        # The pool worker traces in its own address space and ships the
+        # summary back with the answer for the parent trace to absorb.
+        answer, summary = self.executor.run("query_traced", request)
+        trace = current_trace()
+        if trace.enabled:
+            trace.merge_summary(summary)
+        return answer
 
     def query_batch(self, requests) -> list[Biclique | None]:
-        return self.executor.run("query_batch", list(requests))
+        if self.executor.kind != "process":
+            return self.executor.run("query_batch", list(requests))
+        answers, summary = self.executor.run(
+            "query_batch_traced", list(requests)
+        )
+        trace = current_trace()
+        if trace.enabled:
+            trace.merge_summary(summary)
+        return answers
 
 
 class _EngineBackend:
@@ -384,6 +415,7 @@ class PMBCService:
         self._queue: queue.Queue[_Request | _BatchRequest | None] = (
             queue.Queue(maxsize=self.config.max_queue)
         )
+        self.traces = TraceRing(self.config.trace_ring_size)
         self._flight = SingleFlight()
         self._workers: list[threading.Thread] = []
         self._closed = False
@@ -457,6 +489,7 @@ class PMBCService:
 
     @property
     def closed(self) -> bool:
+        """True once :meth:`close` has begun."""
         return self._closed
 
     # ------------------------------------------------------------------
@@ -464,6 +497,7 @@ class PMBCService:
 
     def _init_metrics(self) -> None:
         m = self.metrics
+        register_search_metrics(m)
         self._requests = m.counter(
             "pmbc_requests_total", "Requests by terminal status."
         )
@@ -596,15 +630,20 @@ class PMBCService:
         tau_u: int = 1,
         tau_l: int = 1,
         deadline: float | None = None,
+        explain: bool = False,
     ) -> Future:
         """Admit a request; the Future resolves to a :class:`QueryResult`.
 
         Accepts either raw ``(side, vertex, tau_u, tau_l)`` arguments
         or a single :class:`~repro.core.query.QueryRequest`.  Raises
         immediately on invalid input, a full queue, or a closed
-        service — admission failures never consume a queue slot.
+        service — admission failures never consume a queue slot.  With
+        ``explain=True`` the result carries the computation's trace
+        summary in :attr:`QueryResult.trace`.
         """
-        return self._admit(side, vertex, tau_u, tau_l, deadline).future
+        return self._admit(
+            side, vertex, tau_u, tau_l, deadline, explain
+        ).future
 
     def _admit(
         self,
@@ -613,6 +652,7 @@ class PMBCService:
         tau_u: int,
         tau_l: int,
         deadline: float | None,
+        explain: bool = False,
     ) -> _Request:
         if self._closed:
             self._requests.inc(status="closed")
@@ -635,6 +675,7 @@ class PMBCService:
             request=query_request,
             deadline=None if budget is None else now + budget,
             enqueued_at=now,
+            explain=explain,
         )
         self._inflight.inc()
         try:
@@ -653,6 +694,7 @@ class PMBCService:
         tau_u: int = 1,
         tau_l: int = 1,
         deadline: float | None = None,
+        explain: bool = False,
     ) -> QueryResult:
         """Admit a request and block for its answer.
 
@@ -661,9 +703,11 @@ class PMBCService:
         raises :class:`DeadlineExceededError`) within the request's
         deadline budget even when a worker is still computing — the
         abandoned computation finishes in the background and only warms
-        the cache.
+        the cache.  With ``explain=True`` the result carries the
+        computation's trace summary (a single-flight follower gets the
+        leader's trace).
         """
-        request = self._admit(side, vertex, tau_u, tau_l, deadline)
+        request = self._admit(side, vertex, tau_u, tau_l, deadline, explain)
         budget = self.config.default_deadline if deadline is None else deadline
         try:
             return request.future.result(timeout=budget)
@@ -678,6 +722,7 @@ class PMBCService:
         self,
         requests,
         deadline: float | None = None,
+        explain: bool = False,
     ) -> BatchResult:
         """Admit many requests as one unit and block for all answers.
 
@@ -693,7 +738,7 @@ class PMBCService:
         apply — vertex grouping already collapses duplicates inside
         the batch.
         """
-        batch = self._admit_batch(requests, deadline)
+        batch = self._admit_batch(requests, deadline, explain)
         budget = self.config.default_deadline if deadline is None else deadline
         try:
             return batch.future.result(timeout=budget)
@@ -703,7 +748,9 @@ class PMBCService:
                 raise error from None
             return batch.future.result()
 
-    def _admit_batch(self, requests, deadline: float | None) -> _BatchRequest:
+    def _admit_batch(
+        self, requests, deadline: float | None, explain: bool = False
+    ) -> _BatchRequest:
         if self._closed:
             self._requests.inc(status="closed")
             raise ServiceClosedError("service is closed")
@@ -736,6 +783,7 @@ class PMBCService:
             requests=tuple(coerced),
             deadline=None if budget is None else now + budget,
             enqueued_at=now,
+            explain=explain,
         )
         self._batch_size.observe(len(coerced))
         self._inflight.inc()
@@ -800,7 +848,7 @@ class PMBCService:
             self._sf_leaders.inc()
         if flight.shared:
             self._sf_shared.inc()
-        biclique, backend_name = flight.value
+        biclique, backend_name, summary = flight.value
         total = time.monotonic() - request.enqueued_at
         result = QueryResult(
             biclique=biclique,
@@ -808,6 +856,7 @@ class PMBCService:
             shared=flight.shared and not flight.leader,
             queue_seconds=queue_seconds,
             total_seconds=total,
+            trace=summary if request.explain else None,
         )
         if self._settle(
             request, "ok" if biclique is not None else "empty", result=result
@@ -829,7 +878,9 @@ class PMBCService:
             )
             return
         try:
-            answers, backend_name = self._query_backends_batch(batch.requests)
+            answers, backend_name, summary = self._query_backends_batch(
+                batch.requests
+            )
         except ServeError as exc:
             self._settle(batch, "error", error=exc)
             return
@@ -842,6 +893,7 @@ class PMBCService:
             backend=backend_name,
             queue_seconds=queue_seconds,
             total_seconds=total,
+            trace=summary if batch.explain else None,
         )
         status = "ok" if any(a is not None for a in answers) else "empty"
         if self._settle(batch, status, result=result):
@@ -849,20 +901,39 @@ class PMBCService:
 
     def _query_backends(
         self, request: _Request
-    ) -> tuple[Biclique | None, str]:
-        """Walk the degradation chain; return (answer, backend name)."""
+    ) -> tuple[Biclique | None, str, dict]:
+        """Walk the degradation chain under a fresh trace.
+
+        Every computation (not only explain requests) is traced: the
+        summary feeds the trace ring and the aggregated search metrics,
+        and single-flight followers reuse it.  Returns ``(answer,
+        backend name, trace summary)``.
+        """
         side, vertex, tau_u, tau_l = request.key
+        trace = SearchTrace(trace_id=request.request.trace_id)
+        trace.annotate(
+            kind="query",
+            query={
+                "side": side.value,
+                "vertex": vertex,
+                "tau_u": tau_u,
+                "tau_l": tau_l,
+            },
+        )
         last_error: Exception | None = None
         for position, backend in enumerate(self._backends):
             self._backend_queries.inc(backend=backend.name)
             try:
-                answer = backend.query(side, vertex, tau_u, tau_l)
-                return answer, backend.name
+                with use_trace(trace):
+                    answer = backend.query(side, vertex, tau_u, tau_l)
             except Exception as exc:
                 last_error = exc
                 nxt = self._backends[position + 1].name \
                     if position + 1 < len(self._backends) else "none"
                 self._fallbacks.inc(**{"from": backend.name, "to": nxt})
+                continue
+            summary = self._finish_trace(trace, backend.name, answer)
+            return answer, backend.name, summary
         raise BackendError(
             f"all {len(self._backends)} backends failed "
             f"(last: {last_error!r})"
@@ -870,41 +941,76 @@ class PMBCService:
 
     def _query_backends_batch(
         self, requests: tuple[QueryRequest, ...]
-    ) -> tuple[list[Biclique | None], str]:
+    ) -> tuple[list[Biclique | None], str, dict]:
         """Batch variant of the degradation walk.
 
         Backends without a ``query_batch`` method (e.g. test doubles)
-        are driven with a per-request loop.
+        are driven with a per-request loop.  One trace covers the
+        whole batch; its counters are batch totals.
         """
+        trace = SearchTrace(
+            trace_id=next(
+                (r.trace_id for r in requests if r.trace_id), None
+            )
+        )
+        trace.annotate(kind="batch", batch_size=len(requests))
         last_error: Exception | None = None
         for position, backend in enumerate(self._backends):
             self._backend_queries.inc(backend=backend.name)
             try:
-                batch_fn = getattr(backend, "query_batch", None)
-                if batch_fn is not None:
-                    return list(batch_fn(requests)), backend.name
-                return (
-                    [backend.query(*r.key) for r in requests],
-                    backend.name,
-                )
+                with use_trace(trace):
+                    batch_fn = getattr(backend, "query_batch", None)
+                    if batch_fn is not None:
+                        answers = list(batch_fn(requests))
+                    else:
+                        answers = [
+                            backend.query(*r.key) for r in requests
+                        ]
             except Exception as exc:
                 last_error = exc
                 nxt = self._backends[position + 1].name \
                     if position + 1 < len(self._backends) else "none"
                 self._fallbacks.inc(**{"from": backend.name, "to": nxt})
+                continue
+            trace.annotate(
+                answered=sum(1 for a in answers if a is not None)
+            )
+            summary = self._finish_trace(trace, backend.name, None)
+            return answers, backend.name, summary
         raise BackendError(
             f"all {len(self._backends)} backends failed "
             f"(last: {last_error!r})"
         )
+
+    def _finish_trace(
+        self, trace: SearchTrace, backend_name: str, answer: Biclique | None
+    ) -> dict:
+        """Seal a computation's trace: annotate, ring-buffer, publish."""
+        trace.annotate(backend=backend_name)
+        if trace.meta.get("kind") == "query":
+            trace.annotate(
+                result=None
+                if answer is None
+                else {
+                    "shape": list(answer.shape),
+                    "edges": answer.num_edges,
+                }
+            )
+        summary = trace.to_dict()
+        self.traces.append(summary)
+        publish_trace(summary, self.metrics)
+        return summary
 
     # ------------------------------------------------------------------
     # introspection
 
     @property
     def backend_names(self) -> tuple[str, ...]:
+        """Answer-backend names in the order they are tried."""
         return tuple(b.name for b in self._backends)
 
     def healthy(self) -> bool:
+        """True while workers are alive and the service is open."""
         return bool(self._workers) and not self._closed
 
     def stats(self) -> dict:
@@ -955,6 +1061,11 @@ class PMBCService:
                 "leaders": self._sf_leaders.total(),
                 "shared": self._sf_shared.total(),
                 "in_flight": self._flight.in_flight(),
+            },
+            "traces": {
+                "buffered": len(self.traces),
+                "capacity": self.traces.capacity,
+                "recorded": self.traces.total_recorded,
             },
             "engine_cache": {
                 "hits": cache.hits,

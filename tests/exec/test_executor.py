@@ -98,6 +98,46 @@ def test_thread_fallback_when_no_start_method(paper_graph, monkeypatch):
         executor.close()
 
 
+def test_fallback_warning_names_backend_and_start_method(
+    paper_graph, monkeypatch
+):
+    """The degradation warning must say what was requested and why.
+
+    Regression test: the message used to read "process execution
+    unavailable" without naming the requested backend or the platform's
+    start method, which made fallback reports ambiguous in logs.
+    """
+    monkeypatch.setattr(
+        executor_module, "_available_start_methods", lambda: []
+    )
+    with pytest.warns(RuntimeWarning) as captured:
+        executor = create_executor("process", paper_graph, num_workers=2)
+    executor.close()
+    message = str(captured[0].message)
+    assert "'process'" in message
+    assert "start method: none" in message
+    assert "falling back to the thread backend" in message
+
+
+def test_fallback_warning_reports_requested_start_method(
+    paper_graph, monkeypatch
+):
+    def _broken_pool(self, *args, **kwargs):
+        raise OSError("no /dev/shm semaphores")
+
+    monkeypatch.setattr(
+        executor_module.ProcessBackend, "__init__", _broken_pool
+    )
+    with pytest.warns(RuntimeWarning) as captured:
+        executor = create_executor(
+            "process", paper_graph, num_workers=2, start_method="spawn"
+        )
+    executor.close()
+    message = str(captured[0].message)
+    assert "start method: spawn" in message
+    assert "no /dev/shm semaphores" in message
+
+
 def test_process_backend_raises_without_start_method(
     paper_graph, monkeypatch
 ):

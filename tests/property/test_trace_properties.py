@@ -1,0 +1,67 @@
+"""Hypothesis property tests: tracing is observation-only.
+
+The ISSUE's acceptance bar: traced and untraced queries return
+identical ``(U, L)`` results over random bipartite graphs.  Tracing
+must never perturb the search — same incumbent, same tie-breaks, same
+answer sets, not merely the same objective value.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import pmbc_online, pmbc_online_star
+from repro.graph.bipartite import Side
+from repro.graph.builders import from_edges
+from repro.obs import SearchTrace, current_trace, use_trace
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 6), st.integers(0, 6)),
+    min_size=1,
+    max_size=25,
+)
+
+
+def build(edges):
+    return from_edges(sorted(set(edges)))
+
+
+def _sets(answer):
+    if answer is None:
+        return None
+    return set(answer.upper), set(answer.lower)
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_lists, st.integers(0, 30), st.integers(1, 4), st.integers(1, 4))
+def test_traced_online_returns_identical_sets(edges, pick, tau_u, tau_l):
+    graph = build(edges)
+    q = pick % graph.num_upper
+    untraced = pmbc_online(graph, Side.UPPER, q, tau_u, tau_l)
+    trace = SearchTrace()
+    with use_trace(trace):
+        traced = pmbc_online(graph, Side.UPPER, q, tau_u, tau_l)
+    assert _sets(traced) == _sets(untraced)
+    if traced is not None:
+        assert trace.counters["bb_calls"] >= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_lists, st.integers(0, 30), st.integers(1, 4), st.integers(1, 4))
+def test_traced_online_star_returns_identical_sets(edges, pick, tau_u, tau_l):
+    graph = build(edges)
+    q = pick % graph.num_lower
+    untraced = pmbc_online_star(graph, Side.LOWER, q, tau_u, tau_l)
+    with use_trace(SearchTrace()):
+        traced = pmbc_online_star(graph, Side.LOWER, q, tau_u, tau_l)
+    assert _sets(traced) == _sets(untraced)
+
+
+@settings(max_examples=25, deadline=None)
+@given(edge_lists, st.integers(0, 30))
+def test_trace_context_restored_after_query(edges, pick):
+    graph = build(edges)
+    q = pick % graph.num_upper
+    with use_trace(SearchTrace()):
+        pmbc_online(graph, Side.UPPER, q)
+    assert not current_trace().enabled

@@ -249,3 +249,56 @@ def test_binary_index_build_and_query(edges_file, tmp_path, capsys):
     assert code == 0
     payload = json.loads(capsys.readouterr().out)
     assert payload["shape"] == [4, 3]
+
+
+# ----------------------------------------------------------------------
+# pmbc explain
+
+
+def test_explain_prints_trace_report(edges_file, capsys):
+    code = main(["explain", edges_file, "0", "2", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "two-hop subgraph" in out
+    assert "progressive-bounding rounds" in out
+    assert "pruning" in out
+    assert "answer:" in out
+
+
+def test_explain_json_output(edges_file, capsys):
+    code = main(["explain", edges_file, "0", "2", "2", "--json"])
+    assert code == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["meta"]["query"]["vertex"] == 0
+    assert summary["counters"]["twohop_extractions"] == 1
+    assert "prunes" in summary
+
+
+def test_explain_with_index(edges_file, tmp_path, capsys):
+    index_path = str(tmp_path / "index.json")
+    main(["build", edges_file, "-o", index_path])
+    capsys.readouterr()
+    code = main(["explain", edges_file, "0", "--index", index_path])
+    assert code == 0
+    assert "index tree nodes visited" in capsys.readouterr().out
+    summary_code = main(
+        ["explain", edges_file, "0", "--index", index_path, "--json"]
+    )
+    summary = json.loads(capsys.readouterr().out)
+    assert summary_code == 0
+    assert summary["counters"]["index_lookups"] == 1
+    assert summary["meta"]["backend"] == "index"
+
+
+def test_explain_no_result_exits_nonzero(edges_file, capsys):
+    code = main(["explain", edges_file, "0", "99", "99"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "result: none" in out
+
+
+def test_explain_by_label(edges_file, capsys):
+    code = main(["explain", edges_file, "--label", "u1", "--json"])
+    assert code == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["meta"]["result"]["shape"] == [4, 3]
