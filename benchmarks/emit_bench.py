@@ -1,0 +1,310 @@
+#!/usr/bin/env python
+"""Emit ``BENCH_kernel.json``: a set-vs-bitset kernel latency snapshot.
+
+Runs the Figure 6 / Figure 7 query workloads (same datasets, query
+pools and τ settings as ``test_fig6_query_time.py`` and
+``test_fig7_vary_tau.py``) once per compute kernel and writes a
+machine-readable snapshot to the repository root: per (suite, dataset,
+config) row, p50/p95/mean per-query latency for each kernel plus two
+speedups of ``bitset`` over ``set`` — ``speedup_mean`` on the workload
+mean (the Figure 6 protocol: the benchmark times the whole query sweep,
+so heavy personalized queries dominate, which is exactly the regime the
+bitset kernel targets) and ``speedup_p50`` on the median query (the
+typical-query view; small two-hop subgraphs leave word-parallelism
+little to chew on, so this is the kernel's worst case).  The summary
+reports the median of each per size class; the headline metric is the
+workload one.  Latencies are per-query best-of-N to keep the snapshot
+stable on noisy machines.
+
+Both kernels answer every query in the same process and the result
+sizes are asserted equal — each snapshot doubles as a differential run.
+
+``--smoke`` runs a two-dataset subset with fewer repeats and exits
+non-zero unless the bitset kernel is at least as fast as the set
+kernel on every smoke row (the CI benchmark-smoke gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.workloads import top_degree_queries  # noqa: E402
+from repro.core.online import pmbc_online  # noqa: E402
+from repro.corenum.bounds import compute_bounds  # noqa: E402
+from repro.datasets.zoo import (  # noqa: E402
+    dataset_names,
+    load_dataset,
+    scalability_dataset_names,
+)
+
+#: Same workload scaling as benchmarks/conftest.py.
+NUM_QUERIES = 20
+QUERY_POOL = 50
+WORKLOAD_SEED = 2022
+TAU_FIG6 = 5
+FIG7_TAUS = (2, 4, 6, 8, 10)
+#: Dataset size classes by edge count (upper bound, class name).
+SIZE_CLASSES = ((2000, "small"), (5000, "medium"), (float("inf"), "large"))
+
+SMOKE_DATASETS = ("Writers", "StackOverflow")
+
+
+def size_class(num_edges: int) -> str:
+    """The size-class label for a dataset with ``num_edges`` edges."""
+    for bound, label in SIZE_CLASSES:
+        if num_edges < bound:
+            return label
+    raise AssertionError("unreachable")
+
+
+def percentile(values: list[float], frac: float) -> float:
+    """Nearest-rank percentile of an unsorted sample."""
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, round(frac * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def run_workload(graph, queries, tau, bounds, kernel, repeats):
+    """Per-query best-of-``repeats`` latencies (ms) and answer sizes."""
+    best = [float("inf")] * len(queries)
+    sizes = [0] * len(queries)
+    perf_counter = time.perf_counter
+    for rep in range(repeats):
+        for i, (side, q) in enumerate(queries):
+            t0 = perf_counter()
+            result = pmbc_online(
+                graph, side, q, tau, tau, bounds=bounds, kernel=kernel
+            )
+            elapsed = (perf_counter() - t0) * 1e3
+            if elapsed < best[i]:
+                best[i] = elapsed
+            if rep == 0:
+                sizes[i] = result.num_edges if result is not None else 0
+    return best, sizes
+
+
+def latency_stats(latencies: list[float]) -> dict:
+    return {
+        "p50_ms": round(percentile(latencies, 0.50), 4),
+        "p95_ms": round(percentile(latencies, 0.95), 4),
+        "mean_ms": round(statistics.fmean(latencies), 4),
+    }
+
+
+def bench_case(graph, queries, tau, bounds, repeats):
+    """One (dataset, config) row: both kernels, checked and timed."""
+    kernels = {}
+    sizes_by_kernel = {}
+    for kernel in ("set", "bitset"):
+        latencies, sizes = run_workload(
+            graph, queries, tau, bounds, kernel, repeats
+        )
+        kernels[kernel] = latency_stats(latencies)
+        sizes_by_kernel[kernel] = sizes
+    if sizes_by_kernel["set"] != sizes_by_kernel["bitset"]:
+        raise AssertionError(
+            "kernel answers diverged — differential failure on this config"
+        )
+    speedups = {
+        "speedup_mean": round(
+            kernels["set"]["mean_ms"] / kernels["bitset"]["mean_ms"], 3
+        ),
+        "speedup_p50": round(
+            kernels["set"]["p50_ms"] / kernels["bitset"]["p50_ms"], 3
+        ),
+    }
+    return kernels, speedups
+
+
+def build_plan(smoke: bool, only: list[str] | None):
+    """The (suite, dataset, config, tau, with_bounds) rows to run."""
+    plan = []
+    fig6_datasets = SMOKE_DATASETS if smoke else tuple(dataset_names())
+    if only:
+        fig6_datasets = tuple(d for d in fig6_datasets if d in only) or tuple(
+            only
+        )
+    for dataset in fig6_datasets:
+        plan.append(("fig6", dataset, f"OL tau={TAU_FIG6}", TAU_FIG6, False))
+        plan.append(("fig6", dataset, f"OL* tau={TAU_FIG6}", TAU_FIG6, True))
+    if not smoke:
+        for dataset in scalability_dataset_names():
+            if only and dataset not in only:
+                continue
+            for tau in FIG7_TAUS:
+                plan.append(
+                    ("fig7", dataset, f"OL* tau={tau}", tau, True)
+                )
+    return plan
+
+
+def git_commit() -> str:
+    """``HEAD`` hash, with ``-dirty`` when the working tree has changes."""
+    try:
+        head = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        return f"{head}-dirty" if status else head
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="two-dataset quick run; fail unless bitset >= set everywhere",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_kernel.json",
+        help="output path (default: repo-root BENCH_kernel.json)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="best-of-N repeats per query (default: 5, smoke: 3)",
+    )
+    parser.add_argument(
+        "--datasets",
+        nargs="*",
+        default=None,
+        help="restrict to these datasets",
+    )
+    args = parser.parse_args(argv)
+    repeats = args.repeats or (3 if args.smoke else 5)
+
+    graphs: dict[str, object] = {}
+    bounds_cache: dict[str, object] = {}
+    workloads: dict[str, list] = {}
+
+    def graph_of(name):
+        if name not in graphs:
+            graphs[name] = load_dataset(name)
+        return graphs[name]
+
+    def bounds_of(name):
+        if name not in bounds_cache:
+            bounds_cache[name] = compute_bounds(graph_of(name))
+        return bounds_cache[name]
+
+    def workload_of(name):
+        if name not in workloads:
+            workloads[name] = top_degree_queries(
+                graph_of(name),
+                num_queries=NUM_QUERIES,
+                pool_size=QUERY_POOL,
+                seed=WORKLOAD_SEED,
+            )
+        return workloads[name]
+
+    rows = []
+    for suite, dataset, config, tau, with_bounds in build_plan(
+        args.smoke, args.datasets
+    ):
+        graph = graph_of(dataset)
+        kernels, speedups = bench_case(
+            graph,
+            workload_of(dataset),
+            tau,
+            bounds_of(dataset) if with_bounds else None,
+            repeats,
+        )
+        rows.append(
+            {
+                "suite": suite,
+                "dataset": dataset,
+                "size_class": size_class(graph.num_edges),
+                "config": config,
+                "kernels": kernels,
+                **speedups,
+            }
+        )
+        print(
+            f"{suite} {dataset:14s} {config:12s} "
+            f"set={kernels['set']['mean_ms']:.3f}ms "
+            f"bitset={kernels['bitset']['mean_ms']:.3f}ms "
+            f"x{speedups['speedup_mean']:.2f} "
+            f"(p50 x{speedups['speedup_p50']:.2f})",
+            flush=True,
+        )
+
+    summary = {}
+    for suite in ("fig6", "fig7"):
+        for label in ("small", "medium", "large"):
+            selected = [
+                r
+                for r in rows
+                if r["suite"] == suite and r["size_class"] == label
+            ]
+            if selected:
+                summary[f"{suite}_{label}_median_speedup"] = round(
+                    statistics.median(r["speedup_mean"] for r in selected),
+                    3,
+                )
+                summary[f"{suite}_{label}_median_speedup_p50"] = round(
+                    statistics.median(r["speedup_p50"] for r in selected),
+                    3,
+                )
+
+    snapshot = {
+        "schema": 1,
+        "commit": git_commit(),
+        "created_unix": int(time.time()),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "workload": {
+            "num_queries": NUM_QUERIES,
+            "query_pool": QUERY_POOL,
+            "seed": WORKLOAD_SEED,
+            "repeats": repeats,
+            "timing": "per-query best-of-repeats",
+        },
+        "results": rows,
+        "summary": summary,
+    }
+    args.out.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.smoke:
+        slow = [r for r in rows if r["speedup_mean"] < 1.0]
+        if slow:
+            for r in slow:
+                print(
+                    f"SMOKE FAIL: bitset slower than set on "
+                    f"{r['dataset']} {r['config']} (x{r['speedup_mean']})",
+                    file=sys.stderr,
+                )
+            return 1
+        print("smoke ok: bitset >= set on every smoke config")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

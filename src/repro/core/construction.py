@@ -32,11 +32,11 @@ from repro.core.index import (
     SearchTree,
     SearchTreeNode,
 )
-from repro.core.online import pmbc_online_local
+from repro.core.online import extract_local, pmbc_online_local
 from repro.core.skyline import SkylineIndex
 from repro.corenum.bounds import CoreBounds, compute_bounds
 from repro.graph.bipartite import BipartiteGraph, Side
-from repro.graph.subgraph import two_hop_subgraph
+from repro.kernel import resolve_kernel
 
 
 @dataclass
@@ -78,19 +78,21 @@ def build_search_tree(
     skyline: SkylineIndex | None = None,
     stats: BuildStats | None = None,
     use_lemma6_caps: bool = True,
+    kernel: str | None = None,
 ) -> SearchTree:
     """Build ``T_q`` (the per-vertex loop body of Algorithms 3/4/6).
 
     ``use_lemma6_caps=False`` disables the Lemma 6 shape caps — an
     ablation knob; the resulting tree is identical, only slower to
-    build.
+    build.  ``kernel`` picks the compute kernel for the per-node
+    searches; both kernels build identical trees.
     """
     tree = SearchTree()
     if graph.degree(side, q) == 0:
         return tree
     limit_u, limit_l = vertex_constraint_limits(graph, side, q)
     z_q = bounds.z_bound(side, q) if bounds is not None else None
-    local = two_hop_subgraph(graph, side, q)
+    local = extract_local(graph, side, q, resolve_kernel(kernel))
 
     root = SearchTreeNode(tau_u=1, tau_l=1)
     tree.nodes.append(root)
@@ -115,6 +117,7 @@ def build_search_tree(
             bounds=bounds,
             max_u=max_u if use_lemma6_caps else None,
             max_l=max_l if use_lemma6_caps else None,
+            kernel=kernel,
         )
         if result is None:
             continue
@@ -156,8 +159,10 @@ def _build(
     use_core_bounds: bool,
     instrument: bool,
     use_lemma6_caps: bool = True,
+    kernel: str | None = None,
 ) -> tuple[PMBCIndex, BuildStats]:
     start = time.perf_counter()
+    kernel = resolve_kernel(kernel)
     if bounds is None and use_core_bounds:
         bounds = compute_bounds(graph)
     array = BicliqueArray()
@@ -182,6 +187,7 @@ def _build(
                     skyline,
                     stats,
                     use_lemma6_caps=use_lemma6_caps,
+                    kernel=kernel,
                 )
             )
             if instrument:
@@ -203,13 +209,15 @@ def build_index(
     use_core_bounds: bool = True,
     instrument: bool = False,
     use_lemma6_caps: bool = True,
+    kernel: str | None = None,
 ):
     """PMBC-IC (Algorithm 3): build the index without cost-sharing.
 
     Returns the index, or ``(index, stats)`` when ``instrument`` is
     set.  ``use_core_bounds`` selects PMBC-OL* (the paper's setting)
     over plain PMBC-OL for the per-node searches;
-    ``use_lemma6_caps=False`` is an ablation knob.
+    ``use_lemma6_caps=False`` is an ablation knob.  ``kernel`` picks
+    the compute kernel; both kernels build byte-identical indexes.
     """
     index, stats = _build(
         graph,
@@ -218,5 +226,6 @@ def build_index(
         use_core_bounds=use_core_bounds,
         instrument=instrument,
         use_lemma6_caps=use_lemma6_caps,
+        kernel=kernel,
     )
     return (index, stats) if instrument else index

@@ -22,12 +22,14 @@ def build_index_star(
     bounds: CoreBounds | None = None,
     use_core_bounds: bool = True,
     instrument: bool = False,
+    kernel: str | None = None,
 ):
     """PMBC-IC*: build the index with skyline cost-sharing.
 
     Returns the index, or ``(index, stats)`` when ``instrument`` is
     set; ``stats.skyline_seed_hits`` counts how often a previously
-    computed biclique seeded a search.
+    computed biclique seeded a search.  ``kernel`` picks the compute
+    kernel for the per-node searches.
     """
     index, stats = _build(
         graph,
@@ -35,5 +37,6 @@ def build_index_star(
         bounds=bounds,
         use_core_bounds=use_core_bounds,
         instrument=instrument,
+        kernel=kernel,
     )
     return (index, stats) if instrument else index

@@ -13,12 +13,13 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
-from repro.core.online import pmbc_online_local
+from repro.core.online import extract_local, pmbc_online_local
 from repro.core.query import QueryRequest, as_request
 from repro.core.result import Biclique
 from repro.corenum.bounds import CoreBounds, compute_bounds
 from repro.graph.bipartite import BipartiteGraph, Side
-from repro.graph.subgraph import LocalGraph, two_hop_subgraph
+from repro.graph.subgraph import LocalGraph
+from repro.kernel import resolve_kernel
 from repro.obs.trace import current_trace
 
 
@@ -55,6 +56,10 @@ class PMBCQueryEngine:
     bounds:
         Precomputed :class:`CoreBounds` to reuse (skips the offline
         computation regardless of ``use_core_bounds``).
+    kernel:
+        Compute kernel (``"bitset"``/``"set"``) for every search this
+        engine runs; resolved **once** at construction (None defers to
+        :func:`repro.kernel.default_kernel`).
     """
 
     def __init__(
@@ -63,10 +68,12 @@ class PMBCQueryEngine:
         use_core_bounds: bool = True,
         cache_size: int = 256,
         bounds: CoreBounds | None = None,
+        kernel: str | None = None,
     ) -> None:
         if cache_size < 1:
             raise ValueError(f"cache_size must be >= 1, got {cache_size}")
         self._graph = graph
+        self._kernel = resolve_kernel(kernel)
         if bounds is None and use_core_bounds:
             bounds = compute_bounds(graph)
         self._bounds: CoreBounds | None = bounds
@@ -86,6 +93,11 @@ class PMBCQueryEngine:
     def bounds(self) -> CoreBounds | None:
         """Precomputed (α,β)-core bounds, or None when disabled."""
         return self._bounds
+
+    @property
+    def kernel(self) -> str:
+        """The compute kernel this engine searches with."""
+        return self._kernel
 
     @property
     def cache_hits(self) -> int:
@@ -134,7 +146,7 @@ class PMBCQueryEngine:
         self._validate(side, q, tau_u, tau_l)
         local = self._two_hop(side, q)
         return pmbc_online_local(
-            local, tau_u, tau_l, bounds=self._bounds
+            local, tau_u, tau_l, bounds=self._bounds, kernel=self._kernel
         )
 
     def query_batch(self, requests) -> list[Biclique | None]:
@@ -164,7 +176,11 @@ class PMBCQueryEngine:
                 local = self._two_hop(request.side, request.vertex)
                 current = (request.side, request.vertex)
             results[i] = pmbc_online_local(
-                local, request.tau_u, request.tau_l, bounds=self._bounds
+                local,
+                request.tau_u,
+                request.tau_l,
+                bounds=self._bounds,
+                kernel=self._kernel,
             )
         return results
 
@@ -194,13 +210,13 @@ class PMBCQueryEngine:
         # *different* vertices never serialize (identical concurrent
         # queries are collapsed upstream by repro.serve's single-flight).
         with trace.span("two_hop_extract"):
-            local = two_hop_subgraph(self._graph, side, q)
+            local = extract_local(self._graph, side, q, self._kernel)
         if trace.enabled:
             trace.add("cache_misses")
             trace.record_twohop(
                 local.num_upper,
                 local.num_lower,
-                sum(len(adj) for adj in local.adj_lower),
+                local.num_edges,
             )
         with self._cache_lock:
             if key not in self._locals:

@@ -16,6 +16,8 @@ from repro.core.result import Biclique
 from repro.corenum.bounds import CoreBounds
 from repro.graph.bipartite import BipartiteGraph, Side
 from repro.graph.subgraph import LocalGraph, two_hop_subgraph
+from repro.kernel import resolve_kernel
+from repro.kernel.packed import two_hop_packed
 from repro.mbc.greedy import greedy_biclique
 from repro.mbc.progressive import SearchOptions, maximum_biclique_local
 from repro.obs.trace import current_trace
@@ -32,6 +34,7 @@ def pmbc_online(
     max_u: int | None = None,
     max_l: int | None = None,
     use_two_hop_reduction: bool = True,
+    kernel: str | None = None,
 ) -> Biclique | None:
     """The personalized maximum biclique ``C^q_{τU,τL}`` (Definition 3).
 
@@ -55,15 +58,20 @@ def pmbc_online(
         Optional Lemma 6 caps on the answer shape, used by the index
         constructor.  They are redundant for correctness (any
         constraint-valid candidate obeys them) and only prune search.
+    kernel:
+        Compute kernel for the search (``"bitset"``/``"set"``); None
+        defers to :func:`repro.kernel.default_kernel`.  Both kernels
+        return identical answers.
 
     Returns the maximum-edge biclique containing ``q`` with
     ``|U| ≥ tau_u`` and ``|L| ≥ tau_l``, or None when none exists.
     """
     side, q, tau_u, tau_l = as_request(side, q, tau_u, tau_l).key
     _validate_query(graph, side, q, tau_u, tau_l)
+    kernel = resolve_kernel(kernel)
     trace = current_trace()
     with trace.span("two_hop_extract"):
-        local = two_hop_subgraph(graph, side, q)
+        local = extract_local(graph, side, q, kernel)
     _trace_twohop(trace, local)
     return pmbc_online_local(
         local,
@@ -74,6 +82,7 @@ def pmbc_online(
         max_u=max_u,
         max_l=max_l,
         use_two_hop_reduction=use_two_hop_reduction,
+        kernel=kernel,
     )
 
 
@@ -86,6 +95,7 @@ def pmbc_online_local(
     max_u: int | None = None,
     max_l: int | None = None,
     use_two_hop_reduction: bool = True,
+    kernel: str | None = None,
 ) -> Biclique | None:
     """PMBC-OL on an already-extracted two-hop subgraph.
 
@@ -103,12 +113,14 @@ def pmbc_online_local(
         tau_p, tau_w = tau_l, tau_u
         max_p, max_w = max_l, max_u
 
-    local_seed = _best_local_seed(local, seed, side, tau_p, tau_w)
+    kernel = resolve_kernel(kernel)
+    local_seed = _best_local_seed(local, seed, side, tau_p, tau_w, kernel)
     options = SearchOptions(
         bounds=bounds,
         max_p=max_p,
         max_w=max_w,
         use_two_hop_reduction=use_two_hop_reduction,
+        kernel=kernel,
     )
     with current_trace().span("progressive_search"):
         found = maximum_biclique_local(
@@ -129,6 +141,7 @@ def pmbc_online_star(
     seed: Biclique | None = None,
     max_u: int | None = None,
     max_l: int | None = None,
+    kernel: str | None = None,
 ) -> Biclique | None:
     """PMBC-OL* (Algorithm 5): PMBC-OL with (α,β)-core upper bounds.
 
@@ -153,6 +166,7 @@ def pmbc_online_star(
         bounds=bounds,
         max_u=max_u,
         max_l=max_l,
+        kernel=kernel,
     )
 
 
@@ -161,6 +175,7 @@ def pmbc_online_batch(
     requests,
     bounds: CoreBounds | None = None,
     use_core_bounds: bool = True,
+    kernel: str | None = None,
 ) -> list[Biclique | None]:
     """Answer a batch of requests with shared offline work.
 
@@ -173,6 +188,7 @@ def pmbc_online_batch(
     from repro.corenum.bounds import compute_bounds
 
     reqs = [QueryRequest.of(r) for r in requests]
+    kernel = resolve_kernel(kernel)
     if bounds is None and use_core_bounds and reqs:
         bounds = compute_bounds(graph)
     results: list[Biclique | None] = [None] * len(reqs)
@@ -190,15 +206,29 @@ def pmbc_online_batch(
         if (request.side, request.vertex) != current:
             trace = current_trace()
             with trace.span("two_hop_extract"):
-                local = two_hop_subgraph(
-                    graph, request.side, request.vertex
+                local = extract_local(
+                    graph, request.side, request.vertex, kernel
                 )
             _trace_twohop(trace, local)
             current = (request.side, request.vertex)
         results[i] = pmbc_online_local(
-            local, request.tau_u, request.tau_l, bounds=bounds
+            local, request.tau_u, request.tau_l, bounds=bounds, kernel=kernel
         )
     return results
+
+
+def extract_local(
+    graph: BipartiteGraph, side: Side, q: int, kernel: str
+) -> LocalGraph:
+    """Extract ``H_q`` via the extractor matched to the compute kernel.
+
+    The bitset kernel uses the fused extractor (adjacency packed
+    straight into bitmasks, sets deferred); both extractors produce
+    interchangeable ``LocalGraph`` views of the same subgraph.
+    """
+    if kernel == "bitset":
+        return two_hop_packed(graph, side, q)
+    return two_hop_subgraph(graph, side, q)
 
 
 def _trace_twohop(trace, local: LocalGraph) -> None:
@@ -207,7 +237,7 @@ def _trace_twohop(trace, local: LocalGraph) -> None:
         trace.record_twohop(
             local.num_upper,
             local.num_lower,
-            sum(len(adj) for adj in local.adj_lower),
+            local.num_edges,
         )
 
 
@@ -230,9 +260,10 @@ def _best_local_seed(
     side: Side,
     tau_p: int,
     tau_w: int,
+    kernel: str | None = None,
 ) -> tuple[frozenset[int], frozenset[int]] | None:
     """The larger of the greedy seed and the caller-provided seed."""
-    best = greedy_biclique(local, tau_p, tau_w)
+    best = greedy_biclique(local, tau_p, tau_w, kernel=kernel)
     if seed is not None:
         local_seed = _seed_to_local(local, seed, side)
         if local_seed is not None and (

@@ -41,6 +41,7 @@ from concurrent.futures.process import BrokenProcessPool
 from repro.corenum.bounds import CoreBounds, compute_bounds
 from repro.exec.tasks import TASKS, WorkerState, initialize_worker, run_task
 from repro.graph.bipartite import BipartiteGraph
+from repro.kernel import resolve_kernel
 
 __all__ = [
     "Executor",
@@ -85,7 +86,7 @@ def _available_start_methods() -> list[str]:
         return []
 
 
-def _init_worker_process(graph, bounds, cache_size) -> None:
+def _init_worker_process(graph, bounds, cache_size, kernel) -> None:
     # Terminal Ctrl-C delivers SIGINT to the whole foreground process
     # group; pool workers blocked on the call queue would die with a
     # KeyboardInterrupt traceback each.  Shutdown is coordinated by the
@@ -94,7 +95,7 @@ def _init_worker_process(graph, bounds, cache_size) -> None:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - exotic platforms
         pass
-    initialize_worker(graph, bounds, cache_size)
+    initialize_worker(graph, bounds, cache_size, kernel)
 
 
 class Executor:
@@ -195,10 +196,11 @@ class ThreadBackend(Executor):
         cache_size: int = 256,
         metrics=None,
         state: WorkerState | None = None,
+        kernel: str | None = None,
     ) -> None:
         super().__init__(num_workers, metrics)
         self.state = state or WorkerState(
-            graph=graph, bounds=bounds, cache_size=cache_size
+            graph=graph, bounds=bounds, cache_size=cache_size, kernel=kernel
         )
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
@@ -250,6 +252,7 @@ class ProcessBackend(Executor):
         cache_size: int = 256,
         metrics=None,
         start_method: str | None = None,
+        kernel: str | None = None,
     ) -> None:
         super().__init__(num_workers, metrics)
         method = start_method or process_start_method()
@@ -258,12 +261,16 @@ class ProcessBackend(Executor):
                 "no multiprocessing start method available on this platform"
             )
         self.start_method = method
+        # Resolve the kernel in the parent so every worker — and any
+        # differential comparison against the parent — agrees on it
+        # even if the workers see a different environment.
+        kernel = resolve_kernel(kernel)
         context = multiprocessing.get_context(method)
         self._pool = ProcessPoolExecutor(
             max_workers=num_workers,
             mp_context=context,
             initializer=_init_worker_process,
-            initargs=(graph, bounds, cache_size),
+            initargs=(graph, bounds, cache_size, kernel),
         )
 
     def _execute(self, task: str, item):
@@ -308,6 +315,7 @@ def create_executor(
     cache_size: int = 256,
     metrics=None,
     start_method: str | None = None,
+    kernel: str | None = None,
 ) -> Executor:
     """Build an executor by backend name, with graceful degradation.
 
@@ -319,11 +327,15 @@ def create_executor(
 
     ``bounds`` may be precomputed; otherwise they are computed here
     **once** (when ``use_core_bounds``) and shared with every worker.
+    ``kernel`` picks the compute kernel; it is resolved here, once, and
+    installed in every worker's state by the pool initializer — workers
+    never re-resolve (or re-pack adjacency) per task.
     """
     if kind not in EXECUTION_KINDS:
         raise ValueError(
             f"execution must be one of {EXECUTION_KINDS}, got {kind!r}"
         )
+    kernel = resolve_kernel(kernel)
     if bounds is None and use_core_bounds:
         bounds = compute_bounds(graph)
     if kind == "process":
@@ -335,6 +347,7 @@ def create_executor(
                 cache_size=cache_size,
                 metrics=metrics,
                 start_method=start_method,
+                kernel=kernel,
             )
         except (RuntimeError, OSError, ValueError, BrokenProcessPool) as exc:
             method = start_method or process_start_method()
@@ -351,4 +364,5 @@ def create_executor(
         num_workers=num_workers,
         cache_size=cache_size,
         metrics=metrics,
+        kernel=kernel,
     )

@@ -28,6 +28,7 @@ from repro.core.query import QueryRequest
 from repro.core.result import Biclique
 from repro.corenum.bounds import CoreBounds
 from repro.graph.bipartite import BipartiteGraph
+from repro.kernel import resolve_kernel
 from repro.obs.trace import SearchTrace, use_trace
 
 __all__ = [
@@ -47,13 +48,24 @@ class WorkerState:
     shared mutable structures (the locked biclique array and skyline of
     a parallel index build) to tasks; it never crosses a process
     boundary.
+
+    ``kernel`` is the compute kernel every task on this worker searches
+    with — resolved **once** (in ``__post_init__``, i.e. once per
+    worker process/pool), so tasks never consult the environment, and
+    the packed adjacency each search builds is memoized per two-hop
+    extraction in the worker's caches rather than re-packed per task
+    (see :mod:`repro.kernel.packed`).
     """
 
     graph: BipartiteGraph
     bounds: CoreBounds | None = None
     cache_size: int = 256
+    kernel: str | None = None
     scratch: dict = field(default_factory=dict)
     _engine: PMBCQueryEngine | None = None
+
+    def __post_init__(self) -> None:
+        self.kernel = resolve_kernel(self.kernel)
 
     @property
     def engine(self) -> PMBCQueryEngine:
@@ -64,6 +76,7 @@ class WorkerState:
                 use_core_bounds=False,
                 cache_size=self.cache_size,
                 bounds=self.bounds,
+                kernel=self.kernel,
             )
         return self._engine
 
@@ -77,15 +90,27 @@ def initialize_worker(
     graph: BipartiteGraph,
     bounds: CoreBounds | None,
     cache_size: int,
+    kernel: str | None = None,
 ) -> None:
     """Process-pool initializer: install the worker-global state.
 
     Runs once in each worker process.  Under the ``fork`` start method
     the arguments are inherited copy-on-write; under ``spawn`` they are
-    pickled exactly once per worker — never per task.
+    pickled exactly once per worker — never per task.  The compute
+    kernel is resolved here, once per worker, alongside the graph and
+    CoreBounds.
     """
     global _STATE
-    _STATE = WorkerState(graph=graph, bounds=bounds, cache_size=cache_size)
+    _STATE = WorkerState(
+        graph=graph, bounds=bounds, cache_size=cache_size, kernel=kernel
+    )
+    # Construct the engine (and with it the two-hop LRU that memoizes
+    # packed adjacency per extraction) here rather than lazily inside
+    # the first task: every per-worker setup step happens in the
+    # initializer, and tasks only ever *reuse* the caches.  Re-packing
+    # per task would show up as a growing per-worker pack_count() — the
+    # regression test in tests/exec guards exactly that.
+    _STATE.engine
 
 
 def worker_state() -> WorkerState:
@@ -150,7 +175,9 @@ def task_build_tree(state: WorkerState, item):
     """
     side, q = item
     array = BicliqueArray()
-    tree = build_search_tree(state.graph, side, q, array, state.bounds, None)
+    tree = build_search_tree(
+        state.graph, side, q, array, state.bounds, None, kernel=state.kernel
+    )
     return side, q, tree, list(array)
 
 
@@ -163,8 +190,23 @@ def task_build_tree_shared(state: WorkerState, item):
     """
     side, q = item
     array, bounds, skyline = state.scratch["build"]
-    tree = build_search_tree(state.graph, side, q, array, bounds, skyline)
+    tree = build_search_tree(
+        state.graph, side, q, array, bounds, skyline, kernel=state.kernel
+    )
     return side, q, tree
+
+
+def task_pack_count(state: WorkerState, item) -> int:
+    """Diagnostic: this worker's cumulative non-memoized pack count.
+
+    Lets tests observe, across the process boundary, how many times the
+    bitset kernel actually packed adjacency in this worker — repeated
+    queries on the same vertex must reuse the memoized packed view, so
+    the count grows with distinct extractions, not with tasks.
+    """
+    from repro.kernel.packed import pack_count
+
+    return pack_count()
 
 
 def merge_portable_tree(
@@ -187,6 +229,7 @@ TASKS = {
     "query_batch_traced": task_query_batch_traced,
     "build_tree": task_build_tree,
     "build_tree_shared": task_build_tree_shared,
+    "pack_count": task_pack_count,
 }
 
 

@@ -10,13 +10,13 @@ regardless of which side of ``G`` the query came from.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.graph.bipartite import BipartiteGraph, Side
 
+_AdjPair = tuple[list[set[int]], list[set[int]]]
 
-@dataclass
+
 class LocalGraph:
     """A small bipartite working graph with local contiguous ids.
 
@@ -26,25 +26,61 @@ class LocalGraph:
     ``upper_side.other`` respectively.  ``q_local`` is the local upper
     id of the anchor query vertex when the graph was extracted around
     one.
+
+    The adjacency sets may be *deferred*: a packed extraction (see
+    :func:`repro.kernel.packed.two_hop_packed`) passes ``adj_builder``
+    instead of eager sets, and the sets are materialized from the
+    bitmask view on first access — the bitset compute kernel never
+    touches them, so a pure-bitset query skips building them entirely.
     """
 
-    adj_upper: list[set[int]]
-    adj_lower: list[set[int]]
-    upper_globals: list[int]
-    lower_globals: list[int]
-    upper_side: Side = Side.UPPER
-    q_local: int | None = None
+    def __init__(
+        self,
+        adj_upper: list[set[int]] | None = None,
+        adj_lower: list[set[int]] | None = None,
+        upper_globals: list[int] | None = None,
+        lower_globals: list[int] | None = None,
+        upper_side: Side = Side.UPPER,
+        q_local: int | None = None,
+        adj_builder: Callable[[], _AdjPair] | None = None,
+    ) -> None:
+        if adj_upper is None and adj_builder is None:
+            raise ValueError("need eager adjacency or an adj_builder")
+        self._adj_upper = adj_upper
+        self._adj_lower = adj_lower
+        self._adj_builder = adj_builder
+        self.upper_globals = upper_globals if upper_globals is not None else []
+        self.lower_globals = lower_globals if lower_globals is not None else []
+        self.upper_side = upper_side
+        self.q_local = q_local
+
+    @property
+    def adj_upper(self) -> list[set[int]]:
+        if self._adj_upper is None:
+            self._adj_upper, self._adj_lower = self._adj_builder()
+        return self._adj_upper
+
+    @property
+    def adj_lower(self) -> list[set[int]]:
+        if self._adj_lower is None:
+            self._adj_upper, self._adj_lower = self._adj_builder()
+        return self._adj_lower
 
     @property
     def num_upper(self) -> int:
-        return len(self.adj_upper)
+        # The globals list is parallel to the adjacency, and is always
+        # eager — safe whether or not the sets were materialized.
+        return len(self.upper_globals)
 
     @property
     def num_lower(self) -> int:
-        return len(self.adj_lower)
+        return len(self.lower_globals)
 
     @property
     def num_edges(self) -> int:
+        packed = getattr(self, "_packed", None)
+        if self._adj_upper is None and packed is not None:
+            return sum(packed.deg_upper)
         return sum(len(ns) for ns in self.adj_upper)
 
     def degree_upper(self, u: int) -> int:
@@ -55,6 +91,10 @@ class LocalGraph:
 
     def max_upper_degree(self) -> int:
         """Maximum degree among upper vertices (0 if empty)."""
+        packed = getattr(self, "_packed", None)
+        if self._adj_upper is None and packed is not None:
+            # Packed bit order is degree-descending: bit 0 is the max.
+            return packed.deg_upper[0] if packed.deg_upper else 0
         return max((len(ns) for ns in self.adj_upper), default=0)
 
     def restrict(self, upper_keep: Iterable[int], lower_keep: Iterable[int]) -> "LocalGraph":
@@ -151,18 +191,20 @@ def two_hop_subgraph(graph: BipartiteGraph, side: Side, q: int) -> LocalGraph:
         upper_global_set.update(graph.neighbors(other, v))
     upper_globals = sorted(upper_global_set)
     upper_remap = {u: i for i, u in enumerate(upper_globals)}
-    lower_remap = {v: i for i, v in enumerate(lower_globals)}
 
-    adj_upper: list[set[int]] = []
-    for u in upper_globals:
-        adj_upper.append(
-            {lower_remap[v] for v in graph.neighbors(side, u) if v in lower_remap}
-        )
+    # Every edge of H_q has its lower endpoint in N(q), so both
+    # adjacency lists fall out of one sweep over the N(q) neighbor
+    # lists — never scanning an upper vertex's full global neighborhood
+    # (upper vertices are often hubs whose lists dwarf H_q itself).
+    adj_upper: list[set[int]] = [set() for _ in upper_globals]
     adj_lower: list[set[int]] = []
-    for v in lower_globals:
-        adj_lower.append(
-            {upper_remap[u] for u in graph.neighbors(other, v) if u in upper_remap}
-        )
+    for vi, v in enumerate(lower_globals):
+        row: set[int] = set()
+        for u in graph.neighbors(other, v):
+            ui = upper_remap[u]
+            row.add(ui)
+            adj_upper[ui].add(vi)
+        adj_lower.append(row)
     return LocalGraph(
         adj_upper=adj_upper,
         adj_lower=adj_lower,

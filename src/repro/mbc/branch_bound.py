@@ -12,6 +12,19 @@ maintaining ``P`` as the exact set of upper vertices adjacent to all of
 - ``R`` — candidate lower vertices still addable;
 - ``X`` — lower vertices excluded earlier (for non-maximality pruning).
 
+Two interchangeable compute kernels drive the recursion (selected per
+call, per engine, or process-wide — see :mod:`repro.kernel`):
+
+- ``"bitset"`` (default) — :mod:`repro.kernel.bitset`: the sets above
+  are packed int bitmasks over degree-ordered local ids; intersections
+  are big-int ``&`` and sizes are ``int.bit_count()``.
+- ``"set"`` — the original ``frozenset`` recursion in this module, the
+  differential-testing reference.
+
+Both kernels visit the same nodes, make the same pruning decisions and
+return identical answers; the property suite asserts this on random
+graphs.
+
 Extensions over the plain procedure, all optional via
 :class:`BranchBoundConfig`:
 
@@ -35,6 +48,8 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.graph.subgraph import LocalGraph
+from repro.kernel import resolve_kernel
+from repro.kernel.bitset import bitset_search
 from repro.obs.trace import current_trace
 
 
@@ -109,6 +124,7 @@ def branch_and_bound(
     local: LocalGraph,
     config: BranchBoundConfig,
     initial_best_size: int = 0,
+    kernel: str | None = None,
 ) -> tuple[frozenset[int], frozenset[int]] | None:
     """Find a biclique larger than ``initial_best_size`` under ``config``.
 
@@ -118,13 +134,33 @@ def branch_and_bound(
     exists.  Every returned biclique contains ``config.protected_upper``
     when that vertex is adjacent to all local lower vertices (true for
     an anchored two-hop subgraph).
+
+    ``kernel`` picks the compute kernel (``"bitset"``/``"set"``); None
+    defers to :func:`repro.kernel.default_kernel`.
     """
     state = _SearchState(initial_best_size)
-    p_all = frozenset(range(local.num_upper))
-    candidates = sorted(
-        range(local.num_lower), key=local.degree_lower, reverse=True
-    )
-    _recurse(local, config, state, p_all, frozenset(), candidates, [])
+    if resolve_kernel(kernel) == "bitset":
+        bitset_search(local, config, state)
+    else:
+        p_all = frozenset(range(local.num_upper))
+        candidates = sorted(
+            range(local.num_lower), key=local.degree_lower, reverse=True
+        )
+        _recurse(local, config, state, p_all, frozenset(), candidates, [])
+    flush_search_trace(state)
+    if state.best_upper is None:
+        return None
+    return state.best_upper, state.best_lower
+
+
+def flush_search_trace(state: _SearchState) -> None:
+    """Flush one run's accumulated counters to the active trace.
+
+    Shared by both kernels (and the mask-space progressive loop, which
+    runs the bitset search directly) so every branch-and-bound run
+    reports ``bb_calls``/``bb_nodes`` and per-rule prune tallies the
+    same way.  A no-op under the null trace.
+    """
     trace = current_trace()
     if trace.enabled:
         trace.add("bb_calls")
@@ -135,9 +171,6 @@ def branch_and_bound(
         trace.prune("shape_cap", state.prune_shape)
         trace.prune("non_maximal", state.prune_dominated)
         trace.prune("size_bound", state.prune_bound)
-    if state.best_upper is None:
-        return None
-    return state.best_upper, state.best_lower
 
 
 def _recurse(

@@ -40,12 +40,13 @@ def maximum_biclique(
     tau_u: int = 1,
     tau_l: int = 1,
     bounds: CoreBounds | None = None,
+    kernel: str | None = None,
 ) -> Biclique | None:
     """The maximum biclique of ``graph`` under layer-size constraints
     (Definition 2), or None when no biclique satisfies them."""
     local = whole_graph_view(graph)
-    seed = greedy_biclique(local, tau_p=tau_u, tau_w=tau_l)
-    options = SearchOptions(bounds=bounds)
+    seed = greedy_biclique(local, tau_p=tau_u, tau_w=tau_l, kernel=kernel)
+    options = SearchOptions(bounds=bounds, kernel=kernel)
     found = maximum_biclique_local(local, tau_u, tau_l, seed, options)
     if found is None:
         return None

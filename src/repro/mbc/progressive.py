@@ -29,6 +29,8 @@ from dataclasses import dataclass
 
 from repro.corenum.bounds import CoreBounds
 from repro.graph.subgraph import LocalGraph
+from repro.kernel import resolve_kernel
+from repro.kernel.progressive import bitset_progressive
 from repro.mbc.branch_bound import BranchBoundConfig, branch_and_bound
 from repro.mbc.reductions import reduce_preserving_maximum
 from repro.obs.trace import current_trace
@@ -50,6 +52,10 @@ class SearchOptions:
 
     use_two_hop_reduction: bool = True
     prune_non_maximal: bool = True
+
+    kernel: str | None = None
+    """Compute kernel (``"bitset"``/``"set"``) for the reductions and
+    Branch&Bound; None defers to :func:`repro.kernel.default_kernel`."""
 
 
 def maximum_biclique_local(
@@ -82,6 +88,14 @@ def maximum_biclique_local(
 
     anchored = local.q_local is not None
     bounds = options.bounds
+    kernel = resolve_kernel(options.kernel)
+    if kernel == "bitset":
+        # The bitset kernel runs the whole round loop in mask space over
+        # one packed view — no per-round restricted graphs (see
+        # repro.kernel.progressive).  Same rounds, prunes and answer.
+        return bitset_progressive(
+            local, tau_p, tau_w, best, best_size, floor_w, options
+        )
     trace = current_trace()
     while True:
         tau_p_k = max(best_size // floor_w, tau_p)
@@ -114,6 +128,7 @@ def maximum_biclique_local(
                 tau_p_k,
                 tau_w_k,
                 use_two_hop=options.use_two_hop_reduction,
+                kernel=kernel,
             )
             if trace.enabled:
                 trace.prune(
@@ -124,7 +139,7 @@ def maximum_biclique_local(
                 round_info["working_lower"] = working.num_lower
             if not anchored or working.q_local is not None:
                 found = _run_branch_bound(
-                    working, tau_p_k, tau_w_k, best_size, options
+                    working, tau_p_k, tau_w_k, best_size, options, kernel
                 )
                 if found is not None:
                     best = _map_back(local, working, found)
@@ -178,6 +193,7 @@ def _run_branch_bound(
     tau_w_k: int,
     best_size: int,
     options: SearchOptions,
+    kernel: str | None = None,
 ) -> tuple[frozenset[int], frozenset[int]] | None:
     lower_hook = None
     upper_hook = None
@@ -208,7 +224,7 @@ def _run_branch_bound(
         upper_bound_at_most=upper_hook,
         protected_upper=working.q_local,
     )
-    return branch_and_bound(working, config, best_size)
+    return branch_and_bound(working, config, best_size, kernel=kernel)
 
 
 def _map_back(

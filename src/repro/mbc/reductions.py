@@ -14,6 +14,14 @@ removed (Lyu et al. [5]):
 
 Two-hop counting costs one wedge enumeration, so it is skipped when the
 estimated wedge count exceeds ``wedge_budget``.
+
+Like the Branch&Bound, the reductions run on either compute kernel (see
+:mod:`repro.kernel`): the ``"bitset"`` kernel reuses the per-extraction
+packed adjacency (:func:`repro.kernel.pack_local`) and replaces the
+degree cascade and wedge enumeration with the mask-narrowing passes of
+:mod:`repro.kernel.ops`.  Both kernels kill vertices in the same order
+and compute the same survivor fixpoint, so the reduced subgraph — and
+the ``reduction`` prune counter derived from it — is identical.
 """
 
 from __future__ import annotations
@@ -21,6 +29,9 @@ from __future__ import annotations
 from collections import Counter, deque
 
 from repro.graph.subgraph import LocalGraph
+from repro.kernel import resolve_kernel
+from repro.kernel.ops import reduce_alive
+from repro.kernel.packed import iter_bits, pack_local
 
 #: Default cap on enumerated wedges before the two-hop rule is skipped.
 DEFAULT_WEDGE_BUDGET = 500_000
@@ -34,12 +45,14 @@ def _one_hop_survivors(
     lower_alive: list[bool],
 ) -> None:
     """Cascade degree-based removals in place on the alive masks."""
+    adj_upper = local.adj_upper
+    adj_lower = local.adj_lower
     deg_upper = [
-        sum(lower_alive[v] for v in local.adj_upper[u]) if upper_alive[u] else 0
+        sum(lower_alive[v] for v in adj_upper[u]) if upper_alive[u] else 0
         for u in range(local.num_upper)
     ]
     deg_lower = [
-        sum(upper_alive[u] for u in local.adj_lower[v]) if lower_alive[v] else 0
+        sum(upper_alive[u] for u in adj_lower[v]) if lower_alive[v] else 0
         for v in range(local.num_lower)
     ]
     queue: deque[tuple[bool, int]] = deque()
@@ -54,7 +67,7 @@ def _one_hop_survivors(
     while queue:
         is_upper, idx = queue.popleft()
         if is_upper:
-            for v in local.adj_upper[idx]:
+            for v in adj_upper[idx]:
                 if not lower_alive[v]:
                     continue
                 deg_lower[v] -= 1
@@ -62,7 +75,7 @@ def _one_hop_survivors(
                     lower_alive[v] = False
                     queue.append((False, v))
         else:
-            for u in local.adj_lower[idx]:
+            for u in adj_lower[idx]:
                 if not upper_alive[u]:
                     continue
                 deg_upper[u] -= 1
@@ -109,47 +122,70 @@ def reduce_preserving_maximum(
     tau_w: int,
     use_two_hop: bool = True,
     wedge_budget: int = DEFAULT_WEDGE_BUDGET,
+    kernel: str | None = None,
 ) -> LocalGraph:
     """The subgraph preserving all bicliques of shape ≥ (tau_p × tau_w).
 
     Applies the one-hop fixpoint, optionally one round of two-hop
     filtering on each side, then the one-hop fixpoint again.  The
     result is a re-compacted :class:`LocalGraph`; the anchor survives
-    in ``q_local`` when it is not pruned.
+    in ``q_local`` when it is not pruned.  ``kernel`` picks the compute
+    kernel (None defers to :func:`repro.kernel.default_kernel`); both
+    kernels produce the identical reduced subgraph.
     """
+    if resolve_kernel(kernel) == "bitset":
+        packed = pack_local(local)
+        alive_u, alive_l = reduce_alive(
+            packed,
+            tau_p,
+            tau_w,
+            packed.all_upper,
+            packed.all_lower,
+            use_two_hop=use_two_hop,
+            wedge_budget=wedge_budget,
+        )
+        return local.restrict(
+            [packed.upper_order[b] for b in iter_bits(alive_u)],
+            [packed.lower_order[b] for b in iter_bits(alive_l)],
+        )
+
     upper_alive = [True] * local.num_upper
     lower_alive = [True] * local.num_lower
     _one_hop_survivors(local, tau_p, tau_w, upper_alive, lower_alive)
 
     if use_two_hop:
+        adj_upper = local.adj_upper
+        adj_lower = local.adj_lower
         wedges = sum(
-            len(local.adj_lower[v]) ** 2
+            len(adj_lower[v]) ** 2
             for v in range(local.num_lower)
             if lower_alive[v]
         ) + sum(
-            len(local.adj_upper[u]) ** 2
+            len(adj_upper[u]) ** 2
             for u in range(local.num_upper)
             if upper_alive[u]
         )
         if wedges <= wedge_budget:
             changed = _two_hop_filter(
-                local.adj_upper,
-                local.adj_lower,
+                adj_upper,
+                adj_lower,
                 upper_alive,
                 lower_alive,
                 tau_p,
                 tau_w,
             )
             changed |= _two_hop_filter(
-                local.adj_lower,
-                local.adj_upper,
+                adj_lower,
+                adj_upper,
                 lower_alive,
                 upper_alive,
                 tau_w,
                 tau_p,
             )
             if changed:
-                _one_hop_survivors(local, tau_p, tau_w, upper_alive, lower_alive)
+                _one_hop_survivors(
+                    local, tau_p, tau_w, upper_alive, lower_alive
+                )
 
     return local.restrict(
         [u for u, ok in enumerate(upper_alive) if ok],

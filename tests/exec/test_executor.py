@@ -186,3 +186,43 @@ def test_exec_metrics_are_recorded(paper_graph, kind):
         "pmbc_exec_tasks_total", "Executor work items by backend and task."
     )
     assert counter.value(backend=kind, task="query") == len(requests)
+
+
+# ----------------------------------------------------------------------
+# packed-adjacency reuse (bitset kernel)
+
+
+def test_process_worker_packs_once_per_extraction(paper_graph):
+    """Workers must reuse the memoized packed view across tasks.
+
+    Regression test: repeated queries on the same vertex used to be
+    able to re-pack adjacency per task if the worker's engine (and its
+    two-hop LRU) was rebuilt between tasks.  With the engine installed
+    by the pool initializer, the per-worker pack count grows with
+    distinct extractions only — never with the number of tasks.
+    """
+    request = QueryRequest(Side.UPPER, 0, 1, 1)
+    other = QueryRequest(Side.LOWER, 1, 1, 1)
+    with create_executor(
+        "process", paper_graph, num_workers=1, kernel="bitset"
+    ) as executor:
+        assert executor.kind == "process"
+        baseline = executor.run("pack_count", None)
+        for _ in range(5):
+            executor.run("query", request)
+        assert executor.run("pack_count", None) == baseline + 1
+        for _ in range(3):
+            executor.run("query", other)
+        assert executor.run("pack_count", None) == baseline + 2
+
+
+def test_thread_worker_packs_once_per_extraction(paper_graph):
+    """The shared-engine thread backend reuses packed views the same way."""
+    request = QueryRequest(Side.UPPER, 0, 1, 1)
+    with create_executor(
+        "thread", paper_graph, num_workers=2, kernel="bitset"
+    ) as executor:
+        baseline = executor.run("pack_count", None)
+        for _ in range(5):
+            executor.run("query", request)
+        assert executor.run("pack_count", None) == baseline + 1
