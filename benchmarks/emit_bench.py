@@ -1,5 +1,21 @@
 #!/usr/bin/env python
-"""Emit ``BENCH_kernel.json``: a set-vs-bitset kernel latency snapshot.
+"""Emit benchmark snapshots: kernel latency and adaptive serve throughput.
+
+Two suites, selected with ``--suite {kernel,serve,all}``:
+
+**kernel** (default) emits ``BENCH_kernel.json``, a set-vs-bitset
+kernel latency snapshot — see below.
+
+**serve** emits ``BENCH_serve.json``: a Zipf-skewed serve workload
+against a :class:`repro.serve.PMBCService` with the traffic-adaptive
+partial index enabled (:mod:`repro.adaptive`).  The same stream is
+replayed twice — cold (nothing resident, queries answered by the
+engine/OL* path) and warm (after the background builder drained the
+hot set) — and the snapshot records per-phase latency percentiles, the
+answering backend mix, and the head-query speedup of the warmed
+partial-index tier over the cold path.  ``--smoke`` gates on: the
+builder drained, the adaptive tier answered (hits > 0), resident bytes
+never exceeded the budget, and warm head p50 strictly below cold p50.
 
 Runs the Figure 6 / Figure 7 query workloads (same datasets, query
 pools and τ settings as ``test_fig6_query_time.py`` and
@@ -57,6 +73,15 @@ FIG7_TAUS = (2, 4, 6, 8, 10)
 SIZE_CLASSES = ((2000, "small"), (5000, "medium"), (float("inf"), "large"))
 
 SMOKE_DATASETS = ("Writers", "StackOverflow")
+
+#: Serve-suite workload: a Zipf stream against the Github dataset.
+SERVE_DATASET = "Github"
+SERVE_NUM_QUERIES = 400
+SERVE_SMOKE_QUERIES = 150
+SERVE_EXPONENT = 1.2
+SERVE_TAU = 2
+SERVE_BUDGET_MB = 16.0
+SERVE_HOT_THRESHOLD = 2.0
 
 
 def size_class(num_edges: int) -> str:
@@ -148,6 +173,128 @@ def build_plan(smoke: bool, only: list[str] | None):
     return plan
 
 
+def replay(service, stream, tau):
+    """Replay a query stream; per-query ``(latency_ms, backend)`` rows."""
+    rows = []
+    perf_counter = time.perf_counter
+    for side, vertex in stream:
+        t0 = perf_counter()
+        result = service.query(side, vertex, tau, tau)
+        rows.append(((perf_counter() - t0) * 1e3, result.backend))
+    return rows
+
+
+def phase_stats(rows) -> dict:
+    """Latency percentiles plus the answering-backend mix of a phase."""
+    backends: dict[str, int] = {}
+    for __, backend in rows:
+        backends[backend] = backends.get(backend, 0) + 1
+    return {
+        **latency_stats([ms for ms, __ in rows]),
+        "by_backend": backends,
+    }
+
+
+def bench_serve(smoke: bool) -> tuple[dict, list[str]]:
+    """Cold-vs-warm Zipf serve run; returns ``(snapshot_body, failures)``.
+
+    The cold phase measures the degradation chain with nothing
+    resident; after the background builder drains the hot set, the
+    identical stream is replayed warm.  The headline comparison is
+    *head* queries only: cold p50 over queries the partial tier did
+    not answer vs warm p50 over queries it did.
+    """
+    from repro.bench.workloads import zipf_queries
+    from repro.serve.service import PMBCService, ServiceConfig
+
+    num_queries = SERVE_SMOKE_QUERIES if smoke else SERVE_NUM_QUERIES
+    graph = load_dataset(SERVE_DATASET)
+    stream = zipf_queries(
+        graph,
+        num_queries=num_queries,
+        exponent=SERVE_EXPONENT,
+        seed=WORKLOAD_SEED,
+    )
+    config = ServiceConfig(
+        num_workers=2,
+        max_queue=num_queries + 8,
+        adaptive=True,
+        index_budget_mb=SERVE_BUDGET_MB,
+        hot_threshold=SERVE_HOT_THRESHOLD,
+        build_interval=0.02,
+    )
+    budget_bytes = config.index_budget_bytes
+    with PMBCService(graph, config=config) as service:
+        cold_rows = replay(service, stream, SERVE_TAU)
+        drained = service.builder.drain(timeout=60.0)
+        warm_rows = replay(service, stream, SERVE_TAU)
+        stats = service.stats()
+    adaptive = stats["adaptive"]
+    partial = adaptive["partial_index"]
+
+    cold_head = [ms for ms, backend in cold_rows if backend != "partial"]
+    warm_head = [ms for ms, backend in warm_rows if backend == "partial"]
+    failures: list[str] = []
+    if not drained:
+        failures.append("background builder did not drain the hot set")
+    if not adaptive["hits"]:
+        failures.append("adaptive tier answered no queries (hits == 0)")
+    if partial["bytes"] > budget_bytes:
+        failures.append(
+            f"resident bytes {partial['bytes']} exceed budget {budget_bytes}"
+        )
+    summary = {
+        "drained": drained,
+        "head_queries_warm": len(warm_head),
+        "head_fraction_warm": round(len(warm_head) / len(warm_rows), 3),
+    }
+    if cold_head and warm_head:
+        cold_p50 = percentile(cold_head, 0.50)
+        warm_p50 = percentile(warm_head, 0.50)
+        summary.update(
+            cold_head_p50_ms=round(cold_p50, 4),
+            warm_head_p50_ms=round(warm_p50, 4),
+            head_speedup_p50=round(cold_p50 / warm_p50, 3)
+            if warm_p50
+            else None,
+        )
+        if warm_p50 >= cold_p50:
+            failures.append(
+                f"warm head p50 {warm_p50:.4f}ms not better than "
+                f"cold {cold_p50:.4f}ms"
+            )
+    else:
+        failures.append("no head queries to compare (empty cold/warm sets)")
+
+    body = {
+        "workload": {
+            "dataset": SERVE_DATASET,
+            "num_queries": num_queries,
+            "exponent": SERVE_EXPONENT,
+            "tau": SERVE_TAU,
+            "seed": WORKLOAD_SEED,
+            "budget_mb": SERVE_BUDGET_MB,
+            "hot_threshold": SERVE_HOT_THRESHOLD,
+        },
+        "phases": {
+            "cold": phase_stats(cold_rows),
+            "warm": phase_stats(warm_rows),
+        },
+        "adaptive": {
+            "hits": adaptive["hits"],
+            "misses": adaptive["misses"],
+            "builds": adaptive["builder"]["builds"],
+            "entries": partial["entries"],
+            "bytes": partial["bytes"],
+            "budget_bytes": budget_bytes,
+            "evictions": partial["evictions"],
+            "coverage": stats["index_coverage"]["adaptive"]["fraction"],
+        },
+        "summary": summary,
+    }
+    return body, failures
+
+
 def git_commit() -> str:
     """``HEAD`` hash, with ``-dirty`` when the working tree has changes."""
     try:
@@ -173,15 +320,27 @@ def git_commit() -> str:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
+        "--suite",
+        choices=("kernel", "serve", "all"),
+        default="kernel",
+        help="which benchmark suite(s) to run (default: kernel)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
-        help="two-dataset quick run; fail unless bitset >= set everywhere",
+        help="quick run with pass/fail gates (the CI benchmark-smoke mode)",
     )
     parser.add_argument(
         "--out",
         type=Path,
         default=REPO_ROOT / "BENCH_kernel.json",
-        help="output path (default: repo-root BENCH_kernel.json)",
+        help="kernel-suite output path (default: repo-root BENCH_kernel.json)",
+    )
+    parser.add_argument(
+        "--serve-out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_serve.json",
+        help="serve-suite output path (default: repo-root BENCH_serve.json)",
     )
     parser.add_argument(
         "--repeats",
@@ -193,9 +352,56 @@ def main(argv=None) -> int:
         "--datasets",
         nargs="*",
         default=None,
-        help="restrict to these datasets",
+        help="restrict the kernel suite to these datasets",
     )
     args = parser.parse_args(argv)
+    status = 0
+    if args.suite in ("kernel", "all"):
+        status = run_kernel_suite(args) or status
+    if args.suite in ("serve", "all"):
+        status = run_serve_suite(args) or status
+    return status
+
+
+def run_serve_suite(args) -> int:
+    """Run the adaptive serve benchmark and write ``BENCH_serve.json``."""
+    body, failures = bench_serve(args.smoke)
+    snapshot = {
+        "schema": 1,
+        "suite": "serve",
+        "commit": git_commit(),
+        "created_unix": int(time.time()),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        **body,
+    }
+    args.serve_out.write_text(json.dumps(snapshot, indent=2) + "\n")
+    summary = body["summary"]
+    print(
+        f"serve {SERVE_DATASET}: cold head p50="
+        f"{summary.get('cold_head_p50_ms', '?')}ms warm head p50="
+        f"{summary.get('warm_head_p50_ms', '?')}ms "
+        f"x{summary.get('head_speedup_p50', '?')} "
+        f"(warm head {summary['head_fraction_warm']:.0%} of stream, "
+        f"{body['adaptive']['builds']} builds, "
+        f"{body['adaptive']['bytes']:,}/{body['adaptive']['budget_bytes']:,} "
+        f"bytes)",
+        flush=True,
+    )
+    print(f"wrote {args.serve_out}")
+    if args.smoke:
+        if failures:
+            for failure in failures:
+                print(f"SMOKE FAIL (serve): {failure}", file=sys.stderr)
+            return 1
+        print("smoke ok: warmed adaptive tier beats the cold path")
+    return 0
+
+
+def run_kernel_suite(args) -> int:
+    """Run the set-vs-bitset suite and write ``BENCH_kernel.json``."""
     repeats = args.repeats or (3 if args.smoke else 5)
 
     graphs: dict[str, object] = {}

@@ -1,0 +1,34 @@
+"""repro.adaptive — a traffic-adaptive partial PMBC-Index.
+
+Full PMBC-Index construction is the expensive path of the paper's
+pipeline, but a heavy-tailed (Zipf) query stream concentrates most
+traffic on a small head of hot vertices.  This subsystem serves that
+head at index speed — ``O(deg(q) + |C|)``, Theorem 2 — without ever
+paying for a full build:
+
+- :class:`~repro.adaptive.hotset.HotSetTracker` — exponentially
+  decayed per-vertex query-frequency counters fed by the serving
+  layer's admission path; vertices whose decayed count crosses a
+  promotion threshold become build candidates;
+- :class:`~repro.adaptive.partial.PartialIndex` — a bounded-memory
+  store of per-vertex search trees with LRU eviction, byte accounting
+  under the paper's storage model, and edge-invalidation hooks shared
+  with :mod:`repro.core.dynamic`;
+- :class:`~repro.adaptive.builder.BackgroundBuilder` — builds hot
+  vertices' trees off the request path on the :mod:`repro.exec`
+  substrate, inserts them under the memory budget, and periodically
+  persists the hot set through the unified
+  :meth:`repro.core.index.PMBCIndex.save` so a restarted server
+  re-warms from disk.
+
+The serving layer (:class:`repro.serve.PMBCService` with
+``ServiceConfig(adaptive=True)``) mounts the partial index at the top
+of its degradation chain: partial-index hit → prebuilt index → engine
+→ online search.  See ``docs/adaptive.md``.
+"""
+
+from repro.adaptive.hotset import HotSetTracker
+from repro.adaptive.partial import MISS, PartialIndex
+from repro.adaptive.builder import BackgroundBuilder
+
+__all__ = ["HotSetTracker", "PartialIndex", "BackgroundBuilder", "MISS"]

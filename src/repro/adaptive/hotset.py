@@ -1,0 +1,161 @@
+"""Decayed per-vertex query-frequency tracking (the "hot set" signal).
+
+The serving layer records every admitted request's query vertex here.
+Counts decay exponentially with a configurable half-life, so the
+tracker converges on the *current* head of the traffic distribution
+instead of its all-time histogram: a vertex that stops being queried
+halves its score every ``half_life`` seconds and eventually falls
+below the promotion threshold again.
+
+The tracker is deliberately tiny — a dict of ``(count, stamp)`` pairs
+behind one lock, decayed lazily on access — because it sits on the
+request admission path.  Memory is bounded by :meth:`prune` (dropping
+entries whose decayed count fell under a floor) plus a hard
+``max_entries`` cap that discards the coldest entries on overflow.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.graph.bipartite import Side
+
+__all__ = ["HotSetTracker"]
+
+
+class HotSetTracker:
+    """Exponentially decayed per-``(side, vertex)`` query counters.
+
+    Parameters
+    ----------
+    half_life:
+        Seconds for an untouched counter to halve.
+    max_entries:
+        Hard cap on tracked vertices; exceeding it evicts the coldest
+        entries (smallest decayed count) down to the cap.
+    clock:
+        Monotonic time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        half_life: float = 300.0,
+        max_entries: int = 100_000,
+        clock=time.monotonic,
+    ) -> None:
+        if half_life <= 0:
+            raise ValueError(f"half_life must be positive, got {half_life}")
+        if max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self.half_life = half_life
+        self.max_entries = max_entries
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: key -> (decayed count as of stamp, stamp)
+        self._counts: dict[tuple[Side, int], tuple[float, float]] = {}
+
+    # ------------------------------------------------------------------
+
+    def _decayed(self, count: float, stamp: float, now: float) -> float:
+        if now <= stamp:
+            return count
+        return count * 0.5 ** ((now - stamp) / self.half_life)
+
+    def record(self, side: Side, vertex: int, amount: float = 1.0) -> float:
+        """Add ``amount`` to a vertex's decayed count; returns the new count."""
+        key = (side, vertex)
+        now = self._clock()
+        with self._lock:
+            count, stamp = self._counts.get(key, (0.0, now))
+            count = self._decayed(count, stamp, now) + amount
+            self._counts[key] = (count, now)
+            if len(self._counts) > self.max_entries:
+                self._evict_coldest_locked(now)
+        return count
+
+    def count(self, side: Side, vertex: int) -> float:
+        """The current decayed count of a vertex (0 when untracked)."""
+        now = self._clock()
+        with self._lock:
+            entry = self._counts.get((side, vertex))
+        if entry is None:
+            return 0.0
+        return self._decayed(entry[0], entry[1], now)
+
+    def hot(self, threshold: float) -> list[tuple[tuple[Side, int], float]]:
+        """Vertices whose decayed count is >= ``threshold``, hottest first.
+
+        Returns ``[((side, vertex), score), ...]`` sorted by score
+        descending (ties broken deterministically by key).
+        """
+        now = self._clock()
+        with self._lock:
+            items = list(self._counts.items())
+        scored = [
+            (key, self._decayed(count, stamp, now))
+            for key, (count, stamp) in items
+        ]
+        hot = [(key, score) for key, score in scored if score >= threshold]
+        hot.sort(key=lambda item: (-item[1], item[0][0].value, item[0][1]))
+        return hot
+
+    def prune(self, floor: float = 0.05) -> int:
+        """Drop entries whose decayed count fell below ``floor``.
+
+        Returns the number of entries removed.  Called opportunistically
+        by the background builder so a long-running tracker's memory
+        stays proportional to the *live* hot set.
+        """
+        now = self._clock()
+        with self._lock:
+            cold = [
+                key
+                for key, (count, stamp) in self._counts.items()
+                if self._decayed(count, stamp, now) < floor
+            ]
+            for key in cold:
+                del self._counts[key]
+        return len(cold)
+
+    def forget(self, side: Side, vertex: int) -> None:
+        """Drop one vertex's counter entirely (eviction feedback)."""
+        with self._lock:
+            self._counts.pop((side, vertex), None)
+
+    def _evict_coldest_locked(self, now: float) -> None:
+        overflow = len(self._counts) - self.max_entries
+        if overflow <= 0:
+            return
+        by_score = sorted(
+            self._counts.items(),
+            key=lambda item: self._decayed(item[1][0], item[1][1], now),
+        )
+        for key, __ in by_score[:overflow]:
+            del self._counts[key]
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of tracked vertices (including cooled-off ones)."""
+        with self._lock:
+            return len(self._counts)
+
+    def snapshot(self, limit: int = 20) -> list[dict]:
+        """The ``limit`` hottest entries as JSON-friendly dicts."""
+        now = self._clock()
+        with self._lock:
+            items = list(self._counts.items())
+        scored = sorted(
+            (
+                (key, self._decayed(count, stamp, now))
+                for key, (count, stamp) in items
+            ),
+            key=lambda item: -item[1],
+        )
+        return [
+            {"side": key[0].value, "vertex": key[1], "score": round(score, 3)}
+            for key, score in scored[:limit]
+        ]

@@ -360,6 +360,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         use_core_bounds=not args.no_core_bounds,
         execution=args.execution,
         exec_workers=args.exec_workers,
+        adaptive=args.adaptive,
+        index_budget_mb=args.index_budget_mb,
+        hot_threshold=args.hot_threshold,
+        adaptive_persist_path=args.adaptive_persist,
     )
     service = PMBCService(graph, index=index, config=config).start()
     server = PMBCServer(
@@ -373,6 +377,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"execution: {execution['kind']} x{execution['workers']}",
         flush=True,
     )
+    coverage = service.index_coverage()
+    prebuilt = coverage["prebuilt"]
+    if prebuilt is not None:
+        print(
+            f"index coverage: {prebuilt['fraction']:.1%} of "
+            f"{coverage['total_vertices']} vertices prebuilt "
+            f"({prebuilt['bytes']:,} bytes)",
+            flush=True,
+        )
+    if args.adaptive:
+        adaptive_cov = coverage["adaptive"]
+        warmed = service.stats()["adaptive"]["warm_restored"]
+        print(
+            f"adaptive tier: budget {args.index_budget_mb:g} MiB, "
+            f"hot threshold {args.hot_threshold:g}, "
+            f"{adaptive_cov['vertices']} trees warm "
+            f"({warmed} restored from "
+            f"{args.adaptive_persist or 'nothing'})",
+            flush=True,
+        )
     print(
         f"listening on {server.url} "
         f"(endpoints: /query /query_batch /healthz /metrics /stats; "
@@ -541,6 +565,18 @@ def build_parser() -> argparse.ArgumentParser:
                               "(0 disables; default 30)")
     p_serve.add_argument("--cache-size", type=int, default=256,
                          help="two-hop LRU capacity of the shared engine")
+    p_serve.add_argument("--adaptive", action="store_true",
+                         help="enable the traffic-adaptive partial index "
+                              "(background builds for hot vertices)")
+    p_serve.add_argument("--index-budget-mb", type=float, default=64.0,
+                         help="memory budget for adaptive search trees "
+                              "(default 64 MiB)")
+    p_serve.add_argument("--hot-threshold", type=float, default=3.0,
+                         help="decayed query count that promotes a vertex "
+                              "to a background build (default 3)")
+    p_serve.add_argument("--adaptive-persist", default=None, metavar="PATH",
+                         help="persist the hot set here and re-warm from "
+                              "it on restart")
     p_serve.add_argument("--no-core-bounds", action="store_true",
                          help="skip (α,β)-core bound precomputation")
     p_serve.add_argument("--verbose", action="store_true",

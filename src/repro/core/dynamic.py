@@ -28,12 +28,33 @@ Rebuilding a tree costs the same as during construction —
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.core.construction import build_search_tree
 from repro.core.index import BicliqueArray, PMBCIndex, SearchTree
 from repro.core.query import pmbc_index_query
 from repro.core.result import Biclique
 from repro.corenum.bounds import CoreBounds, compute_bounds
 from repro.graph.bipartite import BipartiteGraph, Side
+
+
+def edge_affected_sets(
+    neighbors_of_u: Iterable[int],
+    neighbors_of_v: Iterable[int],
+    u: int,
+    v: int,
+) -> tuple[set[int], set[int]]:
+    """The per-layer vertex sets an update to edge ``(u, v)`` affects.
+
+    ``neighbors_of_u`` are the lower-layer neighbors of upper vertex
+    ``u`` and ``neighbors_of_v`` the upper-layer neighbors of lower
+    vertex ``v`` — taken *after* an insertion and *before* a deletion.
+    Returns ``(affected_upper, affected_lower)``: exactly the vertices
+    whose search trees the update can change (module docstring).  This
+    is the invalidation rule shared by :class:`DynamicPMBCIndex`
+    (rebuild) and :class:`repro.adaptive.PartialIndex` (evict).
+    """
+    return set(neighbors_of_v) | {u}, set(neighbors_of_u) | {v}
 
 
 class DynamicPMBCIndex:
@@ -127,8 +148,9 @@ class DynamicPMBCIndex:
         if not self.has_edge(u, v):
             raise KeyError(f"edge ({u}, {v}) not in graph")
         # Affected neighborhoods are taken before the deletion.
-        affected_upper = set(self._adj[Side.LOWER][v]) | {u}
-        affected_lower = set(self._adj[Side.UPPER][u]) | {v}
+        affected_upper, affected_lower = edge_affected_sets(
+            self._adj[Side.UPPER][u], self._adj[Side.LOWER][v], u, v
+        )
         self._adj[Side.UPPER][u].discard(v)
         self._adj[Side.LOWER][v].discard(u)
         self._snapshot = None  # bounds stay: still valid after deletion
@@ -254,8 +276,9 @@ class DynamicPMBCIndex:
         return self._bounds
 
     def _rebuild_affected(self, u: int, v: int) -> int:
-        affected_upper = set(self._adj[Side.LOWER][v]) | {u}
-        affected_lower = set(self._adj[Side.UPPER][u]) | {v}
+        affected_upper, affected_lower = edge_affected_sets(
+            self._adj[Side.UPPER][u], self._adj[Side.LOWER][v], u, v
+        )
         return self._rebuild(affected_upper, affected_lower)
 
     def _rebuild(

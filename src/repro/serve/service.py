@@ -28,9 +28,17 @@ suitable for heavy concurrent traffic:
   for many :class:`~repro.core.query.QueryRequest`, grouped by query
   vertex so shared two-hop extractions and the once-per-graph core
   bounds are amortized across the whole batch;
-- **graceful degradation** across backends: index → execution backend
-  → caching engine → plain online search, falling through on
-  unexpected backend failure;
+- **graceful degradation** across backends: adaptive partial index
+  (when enabled) → index → execution backend → caching engine → plain
+  online search, falling through on unexpected backend failure; a
+  partial-index *miss* (vertex not resident) falls through cleanly
+  without counting as a failure;
+- an optional **traffic-adaptive partial index**
+  (``ServiceConfig(adaptive=True)``, see :mod:`repro.adaptive`):
+  admission feeds a decayed hot-set tracker, a background builder
+  constructs hot vertices' search trees off the request path under a
+  byte budget, and the resulting trees serve the head of the traffic
+  distribution at index speed;
 - **metrics** for all of the above (see :mod:`repro.serve.metrics`).
 """
 
@@ -43,6 +51,9 @@ from concurrent.futures import Future, InvalidStateError
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 
+from repro.adaptive.builder import BackgroundBuilder
+from repro.adaptive.hotset import HotSetTracker
+from repro.adaptive.partial import MISS, PartialIndex
 from repro.core.engine import PMBCQueryEngine
 from repro.core.index import PMBCIndex
 from repro.core.online import pmbc_online_star
@@ -142,6 +153,25 @@ class ServiceConfig:
         ``num_workers``.
     trace_ring_size:
         How many recent trace summaries ``/debug/traces`` retains.
+    adaptive:
+        Enable the traffic-adaptive partial index (:mod:`repro.adaptive`):
+        a hot-set tracker fed at admission, a background builder, and a
+        budgeted partial-index tier at the top of the degradation chain.
+    index_budget_mb:
+        Memory budget (MiB, paper storage model) for adaptive trees;
+        exceeding it evicts least-recently-used entries.
+    hot_threshold:
+        Decayed query count at which a vertex is promoted to a build
+        candidate.
+    hot_half_life:
+        Seconds for an untouched hot-set counter to halve.
+    build_interval:
+        Seconds between background build sweeps.
+    adaptive_persist_path:
+        When set, the hot set is periodically saved there (unified
+        ``index.save`` format) and re-warmed from on startup.
+    persist_interval:
+        Seconds between hot-set persistence snapshots.
     """
 
     num_workers: int = 8
@@ -152,6 +182,13 @@ class ServiceConfig:
     execution: str = "thread"
     exec_workers: int | None = None
     trace_ring_size: int = 256
+    adaptive: bool = False
+    index_budget_mb: float = 64.0
+    hot_threshold: float = 3.0
+    hot_half_life: float = 300.0
+    build_interval: float = 0.1
+    adaptive_persist_path: str | None = None
+    persist_interval: float = 30.0
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -177,6 +214,31 @@ class ServiceConfig:
             raise ValueError(
                 f"trace_ring_size must be >= 1, got {self.trace_ring_size}"
             )
+        if self.index_budget_mb <= 0:
+            raise ValueError(
+                f"index_budget_mb must be positive, got {self.index_budget_mb}"
+            )
+        if self.hot_threshold <= 0:
+            raise ValueError(
+                f"hot_threshold must be positive, got {self.hot_threshold}"
+            )
+        if self.hot_half_life <= 0:
+            raise ValueError(
+                f"hot_half_life must be positive, got {self.hot_half_life}"
+            )
+        if self.build_interval <= 0:
+            raise ValueError(
+                f"build_interval must be positive, got {self.build_interval}"
+            )
+        if self.persist_interval <= 0:
+            raise ValueError(
+                f"persist_interval must be positive, got {self.persist_interval}"
+            )
+
+    @property
+    def index_budget_bytes(self) -> int:
+        """The adaptive memory budget in bytes."""
+        return int(self.index_budget_mb * 1024 * 1024)
 
 
 @dataclass(frozen=True)
@@ -231,6 +293,38 @@ class _BatchRequest:
 
     def remaining(self, now: float) -> float | None:
         return None if self.deadline is None else self.deadline - now
+
+
+class _PartialBackend:
+    """The adaptive partial index: hot vertices at index speed.
+
+    A query for a vertex without a resident tree answers
+    :data:`repro.adaptive.MISS`, which the degradation walk treats as
+    a clean fall-through to the next backend — not a failure, so the
+    fallback counter stays untouched.
+    """
+
+    name = "partial"
+
+    def __init__(self, partial: PartialIndex) -> None:
+        self.partial = partial
+
+    def query(
+        self, side: Side, vertex: int, tau_u: int, tau_l: int
+    ) -> Biclique | None:
+        return self.partial.lookup(side, vertex, tau_u, tau_l)
+
+    def query_batch(self, requests):
+        # All-or-MISS: a batch is answered here only when every request
+        # hits a resident tree; otherwise the whole batch falls through
+        # so it stays a single backend walk.
+        answers = []
+        for r in requests:
+            answer = self.partial.lookup(r.side, r.vertex, r.tau_u, r.tau_l)
+            if answer is MISS:
+                return MISS
+            answers.append(answer)
+        return answers
 
 
 class _IndexBackend:
@@ -412,6 +506,21 @@ class PMBCService:
             _OnlineBackend(graph, bounds=self.engine.bounds)
         )
 
+        self._prebuilt_coverage: dict | None = None
+        if index is not None:
+            nonempty = sum(
+                1
+                for side in Side
+                for tree in index.trees.get(side, [])
+                if tree.nodes
+            )
+            total = index.num_upper + index.num_lower
+            self._prebuilt_coverage = {
+                "vertices": nonempty,
+                "fraction": nonempty / total if total else 0.0,
+                "bytes": index.total_size_bytes(),
+            }
+
         self._queue: queue.Queue[_Request | _BatchRequest | None] = (
             queue.Queue(maxsize=self.config.max_queue)
         )
@@ -421,7 +530,65 @@ class PMBCService:
         self._closed = False
         self._lifecycle_lock = threading.Lock()
         self._started_at = time.monotonic()
+
+        self.hot_set: HotSetTracker | None = None
+        self.partial_index: PartialIndex | None = None
+        self.builder: BackgroundBuilder | None = None
+        self._warm_restored = 0
+        if self.config.adaptive:
+            self.hot_set = HotSetTracker(
+                half_life=self.config.hot_half_life
+            )
+            self.partial_index = PartialIndex(
+                budget_bytes=self.config.index_budget_bytes
+            )
+            self._warm_restored = self._warm_restart()
+            self.builder = BackgroundBuilder(
+                graph,
+                self._executor,
+                self.partial_index,
+                self.hot_set,
+                threshold=self.config.hot_threshold,
+                interval=self.config.build_interval,
+                persist_path=self.config.adaptive_persist_path,
+                persist_interval=self.config.persist_interval,
+                metrics=self.metrics,
+                trace_sink=self._absorb_build_trace,
+            )
+            # The partial tier answers hot vertices ahead of every
+            # other backend; misses fall through to the rest of the
+            # chain.
+            self._backends.insert(0, _PartialBackend(self.partial_index))
+
         self._init_metrics()
+
+    def _warm_restart(self) -> int:
+        """Re-warm the partial index from a persisted hot set.
+
+        Silently starts cold when the snapshot is missing, corrupt, or
+        was taken against a different graph shape.  Returns the number
+        of trees adopted.
+        """
+        path = self.config.adaptive_persist_path
+        if not path or self.partial_index is None:
+            return 0
+        try:
+            saved = PMBCIndex.load(path)
+        except FileNotFoundError:
+            return 0
+        except Exception:
+            return 0
+        if (
+            saved.num_upper != self.graph.num_upper
+            or saved.num_lower != self.graph.num_lower
+        ):
+            return 0
+        return self.partial_index.warm_from(saved)
+
+    def _absorb_build_trace(self, summary: dict) -> None:
+        """Feed background-build traces into the ring and metrics."""
+        self.traces.append(summary)
+        publish_trace(summary, self.metrics)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -441,6 +608,8 @@ class PMBCService:
                 )
                 worker.start()
                 self._workers.append(worker)
+        if self.builder is not None and not self.builder.closed:
+            self.builder.start()
         return self
 
     def close(self, wait: bool = True) -> None:
@@ -448,12 +617,18 @@ class PMBCService:
 
         Queued requests are drained and failed with
         :class:`ServiceClosedError`; in-flight computations finish.
+        Shutdown order matters: the background builder is stopped (and,
+        when waiting, joined) *before* the executor closes, so no
+        adaptive build is in flight on a closing substrate and no
+        builder thread outlives the service.
         """
         with self._lifecycle_lock:
             if self._closed:
                 return
             self._closed = True
             workers = list(self._workers)
+        if self.builder is not None:
+            self.builder.close(wait=wait)
         # Fail whatever is still queued, then poison the workers.
         self._drain_queue()
         for __ in workers:
@@ -550,6 +725,29 @@ class PMBCService:
             ),
         ):
             m.gauge(name, "Shared engine two-hop LRU.").set_function(reader)
+        self._adaptive_hits = None
+        self._adaptive_misses = None
+        if self.partial_index is not None:
+            self._adaptive_hits = m.counter(
+                "pmbc_adaptive_hits_total",
+                "Requests answered by the adaptive partial index.",
+            )
+            self._adaptive_misses = m.counter(
+                "pmbc_adaptive_misses_total",
+                "Partial-index fall-throughs (vertex not resident).",
+            )
+            m.gauge(
+                "pmbc_adaptive_budget_bytes",
+                "Adaptive partial-index memory budget.",
+            ).set_function(lambda: self.partial_index.budget_bytes)
+            m.gauge(
+                "pmbc_adaptive_index_bytes",
+                "Accounted size of resident adaptive trees.",
+            ).set_function(lambda: self.partial_index.total_bytes)
+            m.gauge(
+                "pmbc_adaptive_entries",
+                "Resident adaptive trees.",
+            ).set_function(lambda: len(self.partial_index))
 
     def _finish(self, status: str) -> None:
         self._requests.inc(status=status)
@@ -685,6 +883,11 @@ class PMBCService:
             raise QueueFullError(
                 f"request queue full ({self.config.max_queue} waiting)"
             ) from None
+        if self.hot_set is not None:
+            # Record at admission (after the queue accepted the
+            # request) so single-flight followers still count toward
+            # the traffic signal.
+            self.hot_set.record(query_request.side, query_request.vertex)
         return request
 
     def query(
@@ -794,6 +997,9 @@ class PMBCService:
             raise QueueFullError(
                 f"request queue full ({self.config.max_queue} waiting)"
             ) from None
+        if self.hot_set is not None:
+            for request in coerced:
+                self.hot_set.record(request.side, request.vertex)
         return batch
 
     # ------------------------------------------------------------------
@@ -932,6 +1138,14 @@ class PMBCService:
                     if position + 1 < len(self._backends) else "none"
                 self._fallbacks.inc(**{"from": backend.name, "to": nxt})
                 continue
+            if answer is MISS:
+                # No resident tree: a clean fall-through, not a
+                # degradation — the fallback counter stays untouched.
+                if self._adaptive_misses is not None:
+                    self._adaptive_misses.inc()
+                continue
+            if backend.name == "partial" and self._adaptive_hits is not None:
+                self._adaptive_hits.inc()
             summary = self._finish_trace(trace, backend.name, answer)
             return answer, backend.name, summary
         raise BackendError(
@@ -961,7 +1175,9 @@ class PMBCService:
                 with use_trace(trace):
                     batch_fn = getattr(backend, "query_batch", None)
                     if batch_fn is not None:
-                        answers = list(batch_fn(requests))
+                        answers = batch_fn(requests)
+                        if answers is not MISS:
+                            answers = list(answers)
                     else:
                         answers = [
                             backend.query(*r.key) for r in requests
@@ -972,6 +1188,13 @@ class PMBCService:
                     if position + 1 < len(self._backends) else "none"
                 self._fallbacks.inc(**{"from": backend.name, "to": nxt})
                 continue
+            if answers is MISS or any(a is MISS for a in answers):
+                # The partial tier answers a batch all-or-nothing.
+                if self._adaptive_misses is not None:
+                    self._adaptive_misses.inc(len(requests))
+                continue
+            if backend.name == "partial" and self._adaptive_hits is not None:
+                self._adaptive_hits.inc(len(requests))
             trace.annotate(
                 answered=sum(1 for a in answers if a is not None)
             )
@@ -1013,9 +1236,62 @@ class PMBCService:
         """True while workers are alive and the service is open."""
         return bool(self._workers) and not self._closed
 
+    def invalidate_edge(self, u: int, v: int) -> list[tuple[Side, int]]:
+        """Drop adaptive trees an update to edge ``(u, v)`` affects.
+
+        Applies :func:`repro.core.dynamic.edge_affected_sets` to the
+        partial index — the same rule
+        :class:`~repro.core.dynamic.DynamicPMBCIndex` rebuilds by.
+        Returns the dropped keys; a no-op (``[]``) when the adaptive
+        tier is disabled.  Vertices that stay hot are rebuilt by the
+        background builder on its next sweep.
+        """
+        if self.partial_index is None:
+            return []
+        dropped = self.partial_index.invalidate_edge(self.graph, u, v)
+        if dropped and self.builder is not None:
+            self.builder.kick()
+        return dropped
+
+    def index_coverage(self) -> dict:
+        """Which fraction of vertices have a prebuilt/adaptive tree."""
+        total = self.graph.num_upper + self.graph.num_lower
+        adaptive = None
+        if self.partial_index is not None:
+            adaptive = {
+                "vertices": len(self.partial_index),
+                "fraction": self.partial_index.coverage(
+                    self.graph.num_upper, self.graph.num_lower
+                ),
+                "bytes": self.partial_index.total_bytes,
+                "budget_bytes": self.partial_index.budget_bytes,
+            }
+        return {
+            "total_vertices": total,
+            "prebuilt": self._prebuilt_coverage,
+            "adaptive": adaptive,
+        }
+
     def stats(self) -> dict:
         """A JSON-friendly snapshot for ``/stats`` and dashboards."""
         cache = self.engine.cache_stats()
+        adaptive = None
+        if self.partial_index is not None:
+            adaptive = {
+                "partial_index": self.partial_index.stats(),
+                "builder": self.builder.stats()
+                if self.builder is not None
+                else None,
+                "hot_set": {
+                    "tracked": len(self.hot_set),
+                    "threshold": self.config.hot_threshold,
+                    "half_life": self.config.hot_half_life,
+                    "top": self.hot_set.snapshot(limit=10),
+                },
+                "hits": self._adaptive_hits.total(),
+                "misses": self._adaptive_misses.total(),
+                "warm_restored": self._warm_restored,
+            }
         return {
             "uptime_seconds": time.monotonic() - self._started_at,
             "healthy": self.healthy(),
@@ -1075,4 +1351,6 @@ class PMBCService:
                 "capacity": cache.capacity,
                 "hit_rate": cache.hit_rate,
             },
+            "index_coverage": self.index_coverage(),
+            "adaptive": adaptive,
         }

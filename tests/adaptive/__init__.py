@@ -1,0 +1,1 @@
+"""Tests for the traffic-adaptive partial index (repro.adaptive)."""

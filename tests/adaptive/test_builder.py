@@ -1,0 +1,200 @@
+"""BackgroundBuilder: hot-set sweeps, budget pressure, deterministic
+shutdown, persistence."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.adaptive import BackgroundBuilder, HotSetTracker, PartialIndex
+from repro.core.index import PMBCIndex
+from repro.exec.executor import create_executor
+from repro.graph.bipartite import Side
+
+
+@pytest.fixture
+def executor(paper_graph):
+    ex = create_executor("thread", paper_graph, num_workers=1)
+    yield ex
+    ex.close()
+
+
+def make_builder(graph, executor, **kwargs):
+    partial = kwargs.pop("partial", PartialIndex(budget_bytes=1 << 22))
+    hotset = kwargs.pop("hotset", HotSetTracker(half_life=1000.0))
+    kwargs.setdefault("threshold", 3.0)
+    kwargs.setdefault("interval", 0.02)
+    builder = BackgroundBuilder(graph, executor, partial, hotset, **kwargs)
+    return builder, partial, hotset
+
+
+def heat(hotset, *keys, amount=5.0):
+    for side, vertex in keys:
+        hotset.record(side, vertex, amount=amount)
+
+
+def test_run_once_builds_hot_vertices(paper_graph, executor):
+    builder, partial, hotset = make_builder(paper_graph, executor)
+    heat(hotset, (Side.UPPER, 0), (Side.LOWER, 1))
+    hotset.record(Side.UPPER, 2, amount=1.0)  # below threshold
+    assert builder.run_once() == 2
+    assert (Side.UPPER, 0) in partial
+    assert (Side.LOWER, 1) in partial
+    assert (Side.UPPER, 2) not in partial
+    assert builder.builds_total == 2
+    # Already-resident vertices are not rebuilt.
+    assert builder.run_once() == 0
+    assert builder.builds_total == 2
+
+
+def test_max_builds_per_sweep_caps_a_sweep(paper_graph, executor):
+    builder, partial, hotset = make_builder(
+        paper_graph, executor, max_builds_per_sweep=1
+    )
+    heat(hotset, (Side.UPPER, 0), (Side.UPPER, 1), (Side.UPPER, 2))
+    assert builder.run_once() == 1
+    assert builder.pending() == 2
+    assert builder.run_once() == 1
+    assert builder.run_once() == 1
+    assert builder.pending() == 0
+
+
+def test_eviction_forgets_hot_counter(paper_graph, executor):
+    # A budget fitting roughly one tree makes every build evict the
+    # previous resident; the evicted vertex's counter must be dropped
+    # so the builder doesn't thrash rebuilding it forever.
+    probe_partial = PartialIndex(budget_bytes=1 << 22)
+    probe_hot = HotSetTracker(half_life=1000.0)
+    probe_hot.record(Side.UPPER, 0, amount=5.0)
+    probe_builder = BackgroundBuilder(
+        paper_graph, executor, probe_partial, probe_hot, threshold=3.0
+    )
+    probe_builder.run_once()
+    one_tree = probe_partial.total_bytes
+
+    partial = PartialIndex(budget_bytes=one_tree + one_tree // 2)
+    hotset = HotSetTracker(half_life=1000.0)
+    builder = BackgroundBuilder(
+        paper_graph, executor, partial, hotset, threshold=3.0
+    )
+    heat(hotset, (Side.UPPER, 0), (Side.UPPER, 1), (Side.UPPER, 2))
+    builder.run_once()
+    assert partial.total_bytes <= partial.budget_bytes
+    evicted = partial.evictions_total
+    assert evicted > 0
+    # Evicted vertices lost their counters: the next sweep is a no-op
+    # instead of an eviction loop.
+    assert builder.run_once() == 0
+
+
+def test_background_thread_builds_and_close_joins(paper_graph, executor):
+    builder, partial, hotset = make_builder(paper_graph, executor)
+    heat(hotset, (Side.UPPER, 0))
+    builder.start()
+    builder.start()  # idempotent
+    assert builder.drain(5.0)
+    assert (Side.UPPER, 0) in partial
+    builder.close()
+    assert not builder.running
+    assert builder.closed
+    assert all(
+        t.name != "pmbc-adaptive-builder" for t in threading.enumerate()
+    )
+    builder.close()  # idempotent
+    with pytest.raises(RuntimeError):
+        builder.start()
+
+
+def test_close_without_start(paper_graph, executor):
+    builder, __, __ = make_builder(paper_graph, executor)
+    builder.close()
+    assert builder.closed
+
+
+def test_closed_executor_stops_builder_cleanly(paper_graph):
+    ex = create_executor("thread", paper_graph, num_workers=1)
+    builder, partial, hotset = make_builder(paper_graph, ex)
+    heat(hotset, (Side.UPPER, 0))
+    ex.close()
+    assert builder.run_once() == 0  # no exception escapes
+    assert builder.closed
+    assert len(partial) == 0
+
+
+def test_build_failure_is_counted_not_raised(paper_graph):
+    class BrokenExecutor:
+        kind = "thread"
+
+        def run(self, task, item):
+            raise RuntimeError("boom")
+
+    builder, partial, hotset = make_builder(paper_graph, BrokenExecutor())
+    heat(hotset, (Side.UPPER, 0))
+    assert builder.run_once() == 0
+    assert builder.build_failures_total == 1
+    assert len(partial) == 0
+
+
+def test_trace_sink_receives_build_traces(paper_graph, executor):
+    summaries = []
+    builder, __, hotset = make_builder(
+        paper_graph, executor, trace_sink=summaries.append
+    )
+    heat(hotset, (Side.UPPER, 0))
+    builder.run_once()
+    assert len(summaries) == 1
+    meta = summaries[0]["meta"]
+    assert meta["kind"] == "adaptive_build"
+    assert meta["build"] == {"side": Side.UPPER.value, "vertex": 0}
+    assert meta["inserted"] is True
+
+
+def test_persists_on_close(tmp_path, paper_graph, executor):
+    path = tmp_path / "hot.json"
+    builder, partial, hotset = make_builder(
+        paper_graph, executor, persist_path=path
+    )
+    heat(hotset, (Side.UPPER, 0), (Side.LOWER, 2))
+    builder.run_once()
+    builder.close()
+    assert path.exists()
+    assert builder.persists_total == 1
+    loaded = PMBCIndex.load(path)
+    warmed = PartialIndex(budget_bytes=1 << 22)
+    assert warmed.warm_from(loaded) == 2
+    assert set(warmed.keys()) == set(partial.keys())
+
+
+def test_empty_final_persist_skipped(tmp_path, paper_graph, executor):
+    path = tmp_path / "hot.json"
+    builder, __, __ = make_builder(
+        paper_graph, executor, persist_path=path
+    )
+    builder.close()
+    assert not path.exists()
+
+
+def test_stats_shape(paper_graph, executor):
+    builder, __, hotset = make_builder(paper_graph, executor)
+    heat(hotset, (Side.UPPER, 0))
+    builder.run_once()
+    stats = builder.stats()
+    assert stats["builds"] == 1
+    assert stats["running"] is False
+    assert stats["pending"] == 0
+
+
+def test_validation(paper_graph, executor):
+    partial = PartialIndex(budget_bytes=1)
+    hotset = HotSetTracker()
+    for kwargs in (
+        {"threshold": 0},
+        {"interval": 0},
+        {"max_builds_per_sweep": 0},
+        {"persist_interval": 0},
+    ):
+        with pytest.raises(ValueError):
+            BackgroundBuilder(
+                paper_graph, executor, partial, hotset, **kwargs
+            )

@@ -1,0 +1,126 @@
+"""HotSetTracker: decay, promotion ordering, pruning, bounded memory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive import HotSetTracker
+from repro.graph.bipartite import Side
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def test_record_accumulates(clock):
+    tracker = HotSetTracker(half_life=10.0, clock=clock)
+    for __ in range(4):
+        tracker.record(Side.UPPER, 3)
+    assert tracker.count(Side.UPPER, 3) == pytest.approx(4.0)
+    assert tracker.count(Side.LOWER, 3) == 0.0
+
+
+def test_counts_halve_every_half_life(clock):
+    tracker = HotSetTracker(half_life=10.0, clock=clock)
+    for __ in range(8):
+        tracker.record(Side.UPPER, 0)
+    clock.advance(10.0)
+    assert tracker.count(Side.UPPER, 0) == pytest.approx(4.0)
+    clock.advance(20.0)
+    assert tracker.count(Side.UPPER, 0) == pytest.approx(1.0)
+
+
+def test_decay_applies_before_new_increment(clock):
+    tracker = HotSetTracker(half_life=10.0, clock=clock)
+    tracker.record(Side.UPPER, 0, amount=8.0)
+    clock.advance(10.0)
+    assert tracker.record(Side.UPPER, 0) == pytest.approx(5.0)  # 8/2 + 1
+
+
+def test_hot_threshold_and_ordering(clock):
+    tracker = HotSetTracker(half_life=100.0, clock=clock)
+    tracker.record(Side.UPPER, 1, amount=5.0)
+    tracker.record(Side.LOWER, 2, amount=9.0)
+    tracker.record(Side.UPPER, 7, amount=2.0)  # below threshold
+    hot = tracker.hot(3.0)
+    assert [key for key, __ in hot] == [(Side.LOWER, 2), (Side.UPPER, 1)]
+    assert all(score >= 3.0 for __, score in hot)
+
+
+def test_hot_tie_break_is_deterministic(clock):
+    tracker = HotSetTracker(half_life=100.0, clock=clock)
+    tracker.record(Side.LOWER, 5, amount=4.0)
+    tracker.record(Side.UPPER, 9, amount=4.0)
+    tracker.record(Side.UPPER, 2, amount=4.0)
+    keys = [key for key, __ in tracker.hot(1.0)]
+    # Ties break on (side.value, vertex): "lower" sorts before "upper".
+    assert keys == [(Side.LOWER, 5), (Side.UPPER, 2), (Side.UPPER, 9)]
+
+
+def test_cooled_vertex_falls_out_of_hot(clock):
+    tracker = HotSetTracker(half_life=5.0, clock=clock)
+    tracker.record(Side.UPPER, 0, amount=4.0)
+    assert tracker.hot(3.0)
+    clock.advance(15.0)  # 4 / 8 = 0.5
+    assert tracker.hot(3.0) == []
+
+
+def test_prune_drops_cold_entries(clock):
+    tracker = HotSetTracker(half_life=1.0, clock=clock)
+    tracker.record(Side.UPPER, 0, amount=1.0)
+    tracker.record(Side.UPPER, 1, amount=1000.0)
+    clock.advance(10.0)  # 1/1024 vs ~1
+    removed = tracker.prune(floor=0.05)
+    assert removed == 1
+    assert len(tracker) == 1
+    assert tracker.count(Side.UPPER, 1) > 0
+
+
+def test_forget_removes_counter(clock):
+    tracker = HotSetTracker(half_life=10.0, clock=clock)
+    tracker.record(Side.UPPER, 0, amount=5.0)
+    tracker.forget(Side.UPPER, 0)
+    assert tracker.count(Side.UPPER, 0) == 0.0
+    tracker.forget(Side.UPPER, 0)  # idempotent
+
+
+def test_max_entries_evicts_coldest(clock):
+    tracker = HotSetTracker(half_life=100.0, max_entries=3, clock=clock)
+    for vertex, amount in ((0, 1.0), (1, 5.0), (2, 3.0), (3, 4.0)):
+        tracker.record(Side.UPPER, vertex, amount=amount)
+    assert len(tracker) == 3
+    assert tracker.count(Side.UPPER, 0) == 0.0  # coldest discarded
+    assert tracker.count(Side.UPPER, 1) == pytest.approx(5.0)
+
+
+def test_snapshot_is_json_friendly(clock):
+    import json
+
+    tracker = HotSetTracker(half_life=10.0, clock=clock)
+    tracker.record(Side.UPPER, 4, amount=2.0)
+    tracker.record(Side.LOWER, 1, amount=7.0)
+    snapshot = tracker.snapshot(limit=1)
+    assert json.loads(json.dumps(snapshot)) == snapshot
+    assert snapshot[0]["side"] == Side.LOWER.value
+    assert snapshot[0]["vertex"] == 1
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        HotSetTracker(half_life=0)
+    with pytest.raises(ValueError):
+        HotSetTracker(max_entries=0)

@@ -1,0 +1,227 @@
+"""Differential tests for the shared tree-invalidation rule.
+
+The affected-set rule (:func:`repro.core.dynamic.edge_affected_sets`)
+backs two consumers: :class:`~repro.core.dynamic.DynamicPMBCIndex`
+*rebuilds* affected trees in place, and
+:class:`repro.adaptive.PartialIndex` *evicts* them for the background
+builder to repair.  Both paths must converge to the same answers as a
+from-scratch :func:`~repro.core.construction_star.build_index_star`
+over the mutated graph.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.adaptive import MISS, PartialIndex
+from repro.core.construction import build_search_tree
+from repro.core.construction_star import build_index_star
+from repro.core.dynamic import DynamicPMBCIndex, edge_affected_sets
+from repro.core.index import BicliqueArray
+from repro.core.query import pmbc_index_query
+from repro.graph.bipartite import Side
+
+TAUS = tuple(itertools.product((1, 2, 3), (1, 2, 3)))
+
+
+def answers_match(got, want):
+    if want is None:
+        return got is None
+    return got is not None and got.signature() == want.signature()
+
+
+def assert_full_parity(dynamic, graph):
+    """Every vertex of ``dynamic`` answers like a from-scratch index."""
+    scratch = build_index_star(graph)
+    for side in Side:
+        for q in range(graph.num_vertices_on(side)):
+            for tau_u, tau_l in TAUS:
+                got = dynamic.query(side, q, tau_u, tau_l)
+                want = pmbc_index_query(scratch, side, q, tau_u, tau_l)
+                assert answers_match(got, want), (
+                    f"{side.value}:{q} τ=({tau_u},{tau_l}): "
+                    f"{got} != {want}"
+                )
+
+
+# ----------------------------------------------------------------------
+# dynamic rebuild path
+
+
+def test_delete_then_rebuild_matches_scratch(paper_graph):
+    dynamic = DynamicPMBCIndex(paper_graph)
+    u = 0
+    v = paper_graph.neighbors(Side.UPPER, u)[0]
+    rebuilt = dynamic.delete_edge(u, v)
+    assert rebuilt > 0
+    assert_full_parity(dynamic, dynamic.graph())
+
+
+def test_insert_then_rebuild_matches_scratch(small_random_graph):
+    dynamic = DynamicPMBCIndex(small_random_graph)
+    # Find a missing edge to insert.
+    u, v = next(
+        (u, v)
+        for u in range(small_random_graph.num_upper)
+        for v in range(small_random_graph.num_lower)
+        if not dynamic.has_edge(u, v)
+    )
+    assert dynamic.insert_edge(u, v) > 0
+    assert_full_parity(dynamic, dynamic.graph())
+
+
+def test_update_sequence_matches_scratch(small_random_graph):
+    dynamic = DynamicPMBCIndex(small_random_graph)
+    u = 0
+    v = small_random_graph.neighbors(Side.UPPER, u)[0]
+    dynamic.delete_edge(u, v)
+    dynamic.insert_edge(u, v)  # reinsert the same edge
+    assert_full_parity(dynamic, dynamic.graph())
+
+
+# ----------------------------------------------------------------------
+# adaptive evict-and-repair path
+
+
+def resident_tree(graph, side, q):
+    array = BicliqueArray()
+    tree = build_search_tree(graph, side, q, array)
+    return tree, list(array)
+
+
+def fill_all(graph, partial):
+    for side in Side:
+        for q in range(graph.num_vertices_on(side)):
+            partial.put(side, q, *resident_tree(graph, side, q))
+
+
+def repair(graph, partial, dropped):
+    """What the background builder does for still-hot dropped keys."""
+    for side, q in dropped:
+        partial.put(side, q, *resident_tree(graph, side, q))
+
+
+def test_invalidated_then_rebuilt_tree_matches_scratch(paper_graph):
+    partial = PartialIndex(budget_bytes=1 << 22)
+    fill_all(paper_graph, partial)
+    dynamic = DynamicPMBCIndex(paper_graph)
+    u = 0
+    v = paper_graph.neighbors(Side.UPPER, u)[0]
+    # Invalidate against the pre-deletion graph (the dynamic module's
+    # convention for deletions), then mutate and repair.
+    dropped = partial.invalidate_edge(paper_graph, u, v)
+    dynamic.delete_edge(u, v)
+    mutated = dynamic.graph()
+    repair(mutated, partial, dropped)
+
+    scratch = build_index_star(mutated)
+    for side in Side:
+        for q in range(mutated.num_vertices_on(side)):
+            for tau_u, tau_l in TAUS:
+                got = partial.lookup(side, q, tau_u, tau_l)
+                want = pmbc_index_query(scratch, side, q, tau_u, tau_l)
+                assert got is not MISS
+                assert answers_match(got, want)
+
+
+def test_adaptive_eviction_set_equals_dynamic_rebuild_set(
+    medium_planted_graph,
+):
+    graph = medium_planted_graph
+    partial = PartialIndex(budget_bytes=1 << 24)
+    fill_all(graph, partial)
+    dynamic = DynamicPMBCIndex(graph)
+    u = 1
+    v = graph.neighbors(Side.UPPER, u)[0]
+
+    dropped = set(partial.invalidate_edge(graph, u, v))
+    rebuilt = dynamic.delete_edge(u, v)
+    affected_upper, affected_lower = edge_affected_sets(
+        graph.neighbors(Side.UPPER, u),
+        graph.neighbors(Side.LOWER, v),
+        u,
+        v,
+    )
+    expected = {(Side.UPPER, x) for x in affected_upper} | {
+        (Side.LOWER, x) for x in affected_lower
+    }
+    assert dropped == expected
+    assert rebuilt == len(expected)
+
+
+def test_stale_tree_would_answer_wrong(paper_graph):
+    """The control: skipping invalidation really does corrupt answers.
+
+    Deleting a hub edge without evicting affected trees leaves the
+    partial index answering from the old graph — this documents why
+    the eviction hook exists.
+    """
+    partial = PartialIndex(budget_bytes=1 << 22)
+    fill_all(paper_graph, partial)
+    dynamic = DynamicPMBCIndex(paper_graph)
+    # Remove every edge of the highest-degree upper vertex: its old
+    # tree cannot possibly stay correct.
+    hub = max(
+        range(paper_graph.num_upper),
+        key=lambda x: paper_graph.degree(Side.UPPER, x),
+    )
+    dynamic.delete_vertex(Side.UPPER, hub)
+    mutated = dynamic.graph()
+    scratch = build_index_star(mutated)
+    stale = partial.lookup(Side.UPPER, hub, 1, 1)
+    fresh = pmbc_index_query(scratch, Side.UPPER, hub, 1, 1)
+    assert fresh is None  # isolated vertex answers nothing
+    assert stale is not None  # the stale tree still answers — wrongly
+
+
+@pytest.mark.parametrize("as_insertion", (False, True))
+def test_affected_sets_cover_all_answer_changes(
+    small_random_graph, as_insertion
+):
+    """No vertex outside the affected sets changes its answer."""
+    graph = small_random_graph
+    dynamic = DynamicPMBCIndex(graph)
+    if as_insertion:
+        u, v = next(
+            (u, v)
+            for u in range(graph.num_upper)
+            for v in range(graph.num_lower)
+            if not dynamic.has_edge(u, v)
+        )
+        before = build_index_star(graph)
+        dynamic.insert_edge(u, v)
+        mutated = dynamic.graph()
+        affected_upper, affected_lower = edge_affected_sets(
+            mutated.neighbors(Side.UPPER, u),
+            mutated.neighbors(Side.LOWER, v),
+            u,
+            v,
+        )
+    else:
+        u = 0
+        v = graph.neighbors(Side.UPPER, u)[0]
+        before = build_index_star(graph)
+        affected_upper, affected_lower = edge_affected_sets(
+            graph.neighbors(Side.UPPER, u),
+            graph.neighbors(Side.LOWER, v),
+            u,
+            v,
+        )
+        dynamic.delete_edge(u, v)
+        mutated = dynamic.graph()
+    after = build_index_star(mutated)
+    affected = {(Side.UPPER, x) for x in affected_upper} | {
+        (Side.LOWER, x) for x in affected_lower
+    }
+    for side in Side:
+        for q in range(graph.num_vertices_on(side)):
+            if (side, q) in affected:
+                continue
+            for tau_u, tau_l in TAUS:
+                old = pmbc_index_query(before, side, q, tau_u, tau_l)
+                new = pmbc_index_query(after, side, q, tau_u, tau_l)
+                assert answers_match(new, old), (
+                    f"unaffected {side.value}:{q} changed its answer"
+                )

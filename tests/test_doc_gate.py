@@ -19,7 +19,7 @@ REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src" / "repro"
 
 #: Packages whose public surface must be fully documented (ruff D1xx).
-DOCUMENTED_PACKAGES = ("core", "serve", "obs")
+DOCUMENTED_PACKAGES = ("core", "serve", "obs", "adaptive")
 
 
 def _documented_files():
