@@ -7,7 +7,9 @@ Subcommands:
 - ``pmbc query <edges-file> --index index.json --side upper --vertex 3
   --tau-u 2 --tau-l 2`` — answer a personalized query (index-based when
   an index file is given, online otherwise); ``--batch-file`` answers
-  many queries in one run with shared two-hop extraction;
+  many queries in one run with shared two-hop extraction, and
+  ``--objective balanced`` maximizes the balanced (min-side) family
+  instead of edge count (online path only);
 - ``pmbc explain <edges-file> Q TAU_U TAU_L`` — answer one query under
   a search trace and print the human-readable report: two-hop subgraph
   size, progressive-bounding rounds, Branch&Bound nodes, and prune
@@ -38,6 +40,7 @@ from repro.core import (
 from repro.core.serialize import IndexFormatError
 from repro.graph.bipartite import BipartiteGraph, Side
 from repro.graph.io import read_edge_list, read_konect
+from repro.objectives import get_objective, objective_kinds
 
 
 def _load_graph(path: str, konect: bool) -> BipartiteGraph:
@@ -140,6 +143,21 @@ def _cmd_query_batch(args: argparse.Namespace, graph: BipartiteGraph) -> int:
     from repro.core.engine import PMBCQueryEngine
 
     requests = _read_batch_file(args.batch_file, graph)
+    if args.index:
+        incompatible = sorted(
+            {
+                r.objective
+                for r in requests
+                if not get_objective(r.objective).index_compatible
+            }
+        )
+        if incompatible:
+            print(
+                f"error: objective(s) {', '.join(incompatible)} cannot be "
+                "answered from a PMBC index; drop --index to search online",
+                file=sys.stderr,
+            )
+            return 2
     start = time.perf_counter()
     if args.index:
         index = _load_index(args.index)
@@ -192,12 +210,22 @@ def _cmd_query(args: argparse.Namespace) -> int:
     else:
         print("error: provide --vertex or --label", file=sys.stderr)
         return 2
+    if args.index and not get_objective(args.objective).index_compatible:
+        print(
+            f"error: objective {args.objective!r} cannot be answered from "
+            "a PMBC index; drop --index to search online",
+            file=sys.stderr,
+        )
+        return 2
     start = time.perf_counter()
     if args.index:
         index = _load_index(args.index)
         result = pmbc_index_query(index, side, vertex, args.tau_u, args.tau_l)
     else:
-        result = pmbc_online_star(graph, side, vertex, args.tau_u, args.tau_l)
+        result = pmbc_online_star(
+            graph, side, vertex, args.tau_u, args.tau_l,
+            objective=args.objective,
+        )
     elapsed = time.perf_counter() - start
     if result is None:
         print(f"no biclique satisfies the constraints ({elapsed * 1e3:.3f} ms)")
@@ -232,6 +260,13 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     else:
         print("error: provide a vertex (or --label)", file=sys.stderr)
         return 2
+    if args.index and not get_objective(args.objective).index_compatible:
+        print(
+            f"error: objective {args.objective!r} cannot be answered from "
+            "a PMBC index; drop --index to trace the online search",
+            file=sys.stderr,
+        )
+        return 2
     trace = SearchTrace()
     trace.annotate(
         kind="query",
@@ -240,6 +275,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
             "vertex": vertex,
             "tau_u": args.tau_u,
             "tau_l": args.tau_l,
+            "objective": args.objective,
         },
     )
     with use_trace(trace):
@@ -251,7 +287,8 @@ def _cmd_explain(args: argparse.Namespace) -> int:
             backend = "index"
         else:
             result = pmbc_online_star(
-                graph, side, vertex, args.tau_u, args.tau_l
+                graph, side, vertex, args.tau_u, args.tau_l,
+                objective=args.objective,
             )
             backend = "online_star"
     trace.annotate(
@@ -470,6 +507,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--tau-u", type=int, default=1)
     p_query.add_argument("--tau-l", type=int, default=1)
     p_query.add_argument(
+        "--objective", choices=objective_kinds(), default="pmbc",
+        help="query family to maximize (default pmbc = edge count); "
+             "non-pmbc objectives need the online path, not --index",
+    )
+    p_query.add_argument(
         "--batch-file",
         help="answer many queries from a JSON array / JSON-lines file "
              "(grouped two-hop extraction; ignores --side/--vertex)",
@@ -501,6 +543,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain.add_argument("--index",
                            help="trace a PMBC-IQ index lookup instead of "
                                 "the online search")
+    p_explain.add_argument(
+        "--objective", choices=objective_kinds(), default="pmbc",
+        help="query family to maximize (default pmbc = edge count)",
+    )
     p_explain.add_argument("--json", action="store_true",
                            help="print the raw trace summary as JSON")
     p_explain.set_defaults(fn=_cmd_explain)

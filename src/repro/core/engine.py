@@ -136,17 +136,26 @@ class PMBCQueryEngine:
         q: int | None = None,
         tau_u: int = 1,
         tau_l: int = 1,
+        objective: str = "pmbc",
     ) -> Biclique | None:
-        """The personalized maximum biclique of ``q`` (Definition 3).
+        """The personalized objective-maximal biclique of ``q``.
 
         A single :class:`~repro.core.query.QueryRequest` may replace
-        ``side``/``q``/``tau_u``/``tau_l``.
+        ``side``/``q``/``tau_u``/``tau_l``/``objective``.  The cached
+        two-hop subgraph is objective-independent, so mixed-objective
+        workloads share the cache.
         """
-        side, q, tau_u, tau_l = as_request(side, q, tau_u, tau_l).key
+        request = as_request(side, q, tau_u, tau_l, objective=objective)
+        side, q, tau_u, tau_l, objective = request.key
         self._validate(side, q, tau_u, tau_l)
         local = self._two_hop(side, q)
         return pmbc_online_local(
-            local, tau_u, tau_l, bounds=self._bounds, kernel=self._kernel
+            local,
+            tau_u,
+            tau_l,
+            bounds=self._bounds,
+            kernel=self._kernel,
+            objective=objective,
         )
 
     def query_batch(self, requests) -> list[Biclique | None]:
@@ -162,7 +171,9 @@ class PMBCQueryEngine:
         """
         reqs = [QueryRequest.of(r) for r in requests]
         for request in reqs:
-            self._validate(*request.key)
+            self._validate(
+                request.side, request.vertex, request.tau_u, request.tau_l
+            )
         results: list[Biclique | None] = [None] * len(reqs)
         order = sorted(
             range(len(reqs)),
@@ -181,6 +192,7 @@ class PMBCQueryEngine:
                 request.tau_l,
                 bounds=self._bounds,
                 kernel=self._kernel,
+                objective=request.objective,
             )
         return results
 

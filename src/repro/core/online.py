@@ -20,6 +20,7 @@ from repro.kernel import resolve_kernel
 from repro.kernel.packed import two_hop_packed
 from repro.mbc.greedy import greedy_biclique
 from repro.mbc.progressive import SearchOptions, maximum_biclique_local
+from repro.objectives import DEFAULT_OBJECTIVE, Objective, get_objective
 from repro.obs.trace import current_trace
 
 
@@ -35,6 +36,7 @@ def pmbc_online(
     max_l: int | None = None,
     use_two_hop_reduction: bool = True,
     kernel: str | None = None,
+    objective: str = DEFAULT_OBJECTIVE,
 ) -> Biclique | None:
     """The personalized maximum biclique ``C^q_{τU,τL}`` (Definition 3).
 
@@ -62,11 +64,16 @@ def pmbc_online(
         Compute kernel for the search (``"bitset"``/``"set"``); None
         defers to :func:`repro.kernel.default_kernel`.  Both kernels
         return identical answers.
+    objective:
+        Query-family name from the :mod:`repro.objectives` registry
+        (default ``"pmbc"``); ``"balanced"`` maximizes ``min(|U|,|L|)``
+        and returns the trimmed ``k×k`` answer.
 
-    Returns the maximum-edge biclique containing ``q`` with
+    Returns the objective-maximal biclique containing ``q`` with
     ``|U| ≥ tau_u`` and ``|L| ≥ tau_l``, or None when none exists.
     """
-    side, q, tau_u, tau_l = as_request(side, q, tau_u, tau_l).key
+    request = as_request(side, q, tau_u, tau_l, objective=objective)
+    side, q, tau_u, tau_l, objective = request.key
     _validate_query(graph, side, q, tau_u, tau_l)
     kernel = resolve_kernel(kernel)
     trace = current_trace()
@@ -83,6 +90,7 @@ def pmbc_online(
         max_l=max_l,
         use_two_hop_reduction=use_two_hop_reduction,
         kernel=kernel,
+        objective=objective,
     )
 
 
@@ -96,6 +104,7 @@ def pmbc_online_local(
     max_l: int | None = None,
     use_two_hop_reduction: bool = True,
     kernel: str | None = None,
+    objective: str | Objective | None = None,
 ) -> Biclique | None:
     """PMBC-OL on an already-extracted two-hop subgraph.
 
@@ -113,14 +122,17 @@ def pmbc_online_local(
         tau_p, tau_w = tau_l, tau_u
         max_p, max_w = max_l, max_u
 
+    obj = get_objective(objective)
+    tau_p, tau_w = obj.effective_floors(tau_p, tau_w)
     kernel = resolve_kernel(kernel)
-    local_seed = _best_local_seed(local, seed, side, tau_p, tau_w, kernel)
+    local_seed = _best_local_seed(local, seed, side, tau_p, tau_w, kernel, obj)
     options = SearchOptions(
         bounds=bounds,
         max_p=max_p,
         max_w=max_w,
         use_two_hop_reduction=use_two_hop_reduction,
         kernel=kernel,
+        objective=obj,
     )
     with current_trace().span("progressive_search"):
         found = maximum_biclique_local(
@@ -128,7 +140,7 @@ def pmbc_online_local(
         )
     if found is None:
         return None
-    return _to_biclique(local, found)
+    return _finalize_biclique(local, found, obj)
 
 
 def pmbc_online_star(
@@ -142,6 +154,7 @@ def pmbc_online_star(
     max_u: int | None = None,
     max_l: int | None = None,
     kernel: str | None = None,
+    objective: str = DEFAULT_OBJECTIVE,
 ) -> Biclique | None:
     """PMBC-OL* (Algorithm 5): PMBC-OL with (α,β)-core upper bounds.
 
@@ -149,12 +162,15 @@ def pmbc_online_star(
     them offline); when omitted they are computed on the fly, which is
     correct but defeats the purpose for repeated queries.  A single
     :class:`~repro.core.query.QueryRequest` may replace
-    ``side``/``q``/``tau_u``/``tau_l``.
+    ``side``/``q``/``tau_u``/``tau_l``/``objective``.  Non-``"pmbc"``
+    objectives ignore the core bounds (not admissible for their score)
+    but share every other acceleration.
     """
     from repro.corenum.bounds import compute_bounds
 
-    side, q, tau_u, tau_l = as_request(side, q, tau_u, tau_l).key
-    if bounds is None:
+    request = as_request(side, q, tau_u, tau_l, objective=objective)
+    side, q, tau_u, tau_l, objective = request.key
+    if bounds is None and get_objective(objective).uses_size_bounds:
         bounds = compute_bounds(graph)
     return pmbc_online(
         graph,
@@ -167,6 +183,7 @@ def pmbc_online_star(
         max_u=max_u,
         max_l=max_l,
         kernel=kernel,
+        objective=objective,
     )
 
 
@@ -212,7 +229,12 @@ def pmbc_online_batch(
             _trace_twohop(trace, local)
             current = (request.side, request.vertex)
         results[i] = pmbc_online_local(
-            local, request.tau_u, request.tau_l, bounds=bounds, kernel=kernel
+            local,
+            request.tau_u,
+            request.tau_l,
+            bounds=bounds,
+            kernel=kernel,
+            objective=request.objective,
         )
     return results
 
@@ -261,8 +283,10 @@ def _best_local_seed(
     tau_p: int,
     tau_w: int,
     kernel: str | None = None,
+    objective: Objective | None = None,
 ) -> tuple[frozenset[int], frozenset[int]] | None:
-    """The larger of the greedy seed and the caller-provided seed."""
+    """The better-scoring of the greedy seed and the caller's seed."""
+    obj = get_objective(objective)
     best = greedy_biclique(local, tau_p, tau_w, kernel=kernel)
     if seed is not None:
         local_seed = _seed_to_local(local, seed, side)
@@ -270,8 +294,8 @@ def _best_local_seed(
             len(local_seed[0]) >= tau_p and len(local_seed[1]) >= tau_w
         ):
             if best is None or (
-                len(local_seed[0]) * len(local_seed[1])
-                > len(best[0]) * len(best[1])
+                obj.score(len(local_seed[0]), len(local_seed[1]))
+                > obj.score(len(best[0]), len(best[1]))
             ):
                 best = local_seed
     return best
@@ -302,3 +326,30 @@ def _to_biclique(
     if side is Side.UPPER:
         return Biclique(upper=own, lower=other)
     return Biclique(upper=other, lower=own)
+
+
+def _finalize_biclique(
+    local: LocalGraph,
+    found: tuple[frozenset[int], frozenset[int]],
+    objective: Objective,
+) -> Biclique:
+    """Map a local answer to global ids and apply the objective's trim.
+
+    The anchor (when the subgraph is anchored) is passed through so
+    trims — e.g. the balanced objective cutting the larger side down to
+    ``k`` — never drop the personalized query vertex.
+    """
+    result = _to_biclique(local, found)
+    anchor_upper = anchor_lower = None
+    if local.q_local is not None:
+        anchor = local.upper_globals[local.q_local]
+        if local.upper_side is Side.UPPER:
+            anchor_upper = anchor
+        else:
+            anchor_lower = anchor
+    upper, lower = objective.finalize(
+        result.upper, result.lower, anchor_upper, anchor_lower
+    )
+    if upper is result.upper and lower is result.lower:
+        return result
+    return Biclique(upper=upper, lower=lower)

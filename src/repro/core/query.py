@@ -21,12 +21,13 @@ from dataclasses import dataclass, field
 from repro.core.index import PMBCIndex
 from repro.core.result import Biclique
 from repro.graph.bipartite import Side
+from repro.objectives import DEFAULT_OBJECTIVE, get_objective
 from repro.obs.trace import current_trace
 
 
 @dataclass(frozen=True)
 class QueryRequest:
-    """One personalized query: ``(side, vertex, τ_U, τ_L)``.
+    """One personalized query: ``(side, vertex, τ_U, τ_L[, objective])``.
 
     The canonical request shape of Definition 3, shared by every query
     surface (``pmbc_online``/``pmbc_online_star``, the engine, the
@@ -35,16 +36,25 @@ class QueryRequest:
 
     ``side`` may be given as a :class:`Side` or its string value
     (``"upper"``/``"lower"``); it is normalized to a :class:`Side`.
-    Range/constraint validation stays with the consumer (each layer
-    reports violations with its own error type), except for the
-    structural invariants every surface agrees on: integer fields and
-    a known side.
+    ``objective`` names the query family (default ``"pmbc"``) and is
+    validated against the :mod:`repro.objectives` registry — an unknown
+    name raises ``ValueError`` at construction, before the request
+    reaches any backend.  Range/constraint validation stays with the
+    consumer (each layer reports violations with its own error type),
+    except for the structural invariants every surface agrees on:
+    integer fields, a known side, and a registered objective.
     """
 
     side: Side
     vertex: int
     tau_u: int = 1
     tau_l: int = 1
+
+    objective: str = DEFAULT_OBJECTIVE
+    """Query-family name from the :mod:`repro.objectives` registry.
+    Part of :attr:`key` (and thus of equality/hash): a balanced and a
+    PMBC query for the same vertex never share a cache entry or a
+    single-flight leader."""
 
     trace_id: str | None = field(default=None, compare=False)
     """Optional correlation id for observability.  Excluded from
@@ -63,21 +73,27 @@ class QueryRequest:
             value = getattr(self, name)
             if not isinstance(value, int) or isinstance(value, bool):
                 raise TypeError(f"{name} must be an int, got {value!r}")
+        if not isinstance(self.objective, str):
+            raise TypeError(
+                f"objective must be a string, got {self.objective!r}"
+            )
+        get_objective(self.objective)  # raises ValueError on unknown names
         if self.trace_id is not None and not isinstance(self.trace_id, str):
             raise TypeError(
                 f"trace_id must be a string or None, got {self.trace_id!r}"
             )
 
     @property
-    def key(self) -> tuple[Side, int, int, int]:
+    def key(self) -> tuple[Side, int, int, int, str]:
         """A hashable identity (cache keys, single-flight collapsing)."""
-        return (self.side, self.vertex, self.tau_u, self.tau_l)
+        return (self.side, self.vertex, self.tau_u, self.tau_l, self.objective)
 
     def to_json(self) -> dict:
         """A JSON-friendly representation (the HTTP wire shape).
 
-        ``trace_id`` is included only when set, so untraced requests
-        keep the historical four-key shape.
+        ``trace_id`` (when unset) and ``objective`` (when the default
+        ``"pmbc"``) are omitted, so historical requests keep their
+        four-key wire shape.
         """
         payload = {
             "side": self.side.value,
@@ -85,6 +101,8 @@ class QueryRequest:
             "tau_u": self.tau_u,
             "tau_l": self.tau_l,
         }
+        if self.objective != DEFAULT_OBJECTIVE:
+            payload["objective"] = self.objective
         if self.trace_id is not None:
             payload["trace_id"] = self.trace_id
         return payload
@@ -94,8 +112,8 @@ class QueryRequest:
         """Coerce a request-like value into a :class:`QueryRequest`.
 
         Accepts an existing request (returned as-is), a ``(side,
-        vertex[, tau_u[, tau_l]])`` tuple, or a mapping with those
-        keys — the shapes batch callers naturally hold.
+        vertex[, tau_u[, tau_l[, objective]]])`` tuple, or a mapping
+        with those keys — the shapes batch callers naturally hold.
         """
         if isinstance(request, cls):
             return request
@@ -105,19 +123,28 @@ class QueryRequest:
                 vertex=request["vertex"],
                 tau_u=request.get("tau_u", 1),
                 tau_l=request.get("tau_l", 1),
+                objective=request.get("objective", DEFAULT_OBJECTIVE),
                 trace_id=request.get("trace_id"),
             )
-        if isinstance(request, (tuple, list)) and 2 <= len(request) <= 4:
+        if isinstance(request, (tuple, list)) and 2 <= len(request) <= 5:
             return cls(*request)
         raise TypeError(f"cannot interpret {request!r} as a QueryRequest")
 
 
-def as_request(side, q=None, tau_u: int = 1, tau_l: int = 1) -> QueryRequest:
+def as_request(
+    side,
+    q=None,
+    tau_u: int = 1,
+    tau_l: int = 1,
+    objective: str = DEFAULT_OBJECTIVE,
+) -> QueryRequest:
     """Normalize a positional-or-request call signature.
 
     Every query entry point accepts either its historical positional
     arguments or a single :class:`QueryRequest` in the ``side``
-    position; this helper implements that contract in one place.
+    position; this helper implements that contract in one place.  When
+    a request object is given, it wins: the positional defaults
+    (including ``objective``) are ignored.
     """
     if isinstance(side, QueryRequest):
         if q is not None:
@@ -127,7 +154,24 @@ def as_request(side, q=None, tau_u: int = 1, tau_l: int = 1) -> QueryRequest:
         return side
     if q is None:
         raise TypeError("missing query vertex (or pass a QueryRequest)")
-    return QueryRequest(side=side, vertex=q, tau_u=tau_u, tau_l=tau_l)
+    return QueryRequest(
+        side=side, vertex=q, tau_u=tau_u, tau_l=tau_l, objective=objective
+    )
+
+
+def _require_index_compatible(objective: str) -> None:
+    """Reject objectives the PMBC-Index storage model cannot answer.
+
+    The index stores the Lemma 6 skyline of *edge-count* maxima; for
+    any other family its trees would return a wrong-family biclique, so
+    the library-level lookups refuse outright (the serving tiers
+    instead decline with a MISS and fall through to online search).
+    """
+    if not get_objective(objective).index_compatible:
+        raise ValueError(
+            f"objective {objective!r} is not answerable from a PMBC index; "
+            "use the online/engine surfaces instead"
+        )
 
 
 def pmbc_index_topk(
@@ -151,7 +195,8 @@ def pmbc_index_topk(
     :class:`QueryRequest` in the ``side`` position.
     """
     request = as_request(side, q, tau_u, tau_l)
-    side, q, tau_u, tau_l = request.key
+    side, q, tau_u, tau_l, objective = request.key
+    _require_index_compatible(objective)
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     if tau_u < 1 or tau_l < 1:
@@ -190,7 +235,8 @@ def pmbc_index_query(
     a single :class:`QueryRequest` in the ``side`` position.
     """
     request = as_request(side, q, tau_u, tau_l)
-    side, q, tau_u, tau_l = request.key
+    side, q, tau_u, tau_l, objective = request.key
+    _require_index_compatible(objective)
     if tau_u < 1 or tau_l < 1:
         raise ValueError(
             f"size constraints must be >= 1, got ({tau_u}, {tau_l})"

@@ -64,6 +64,11 @@ def bitset_search(
     prune_non_maximal = config.prune_non_maximal
     lower_at_least = config.lower_bound_at_least
     upper_at_most = config.upper_bound_at_most
+    # Objective hooks, hoisted like every other per-run constant.  Both
+    # kernels call the identical bound methods, so pruning decisions
+    # (and thus the visited search tree) stay in lockstep.
+    score_of = config.objective.score
+    bound_of = config.objective.bound
     protected_bit = (
         packed.upper_rank[config.protected_upper]
         if config.protected_upper is not None
@@ -90,10 +95,11 @@ def bitset_search(
             and w_count >= tau_w
             and (max_p is None or p_count <= max_p)
             and (max_w is None or w_count <= max_w)
-            and p_count * w_count > best_size
         ):
-            best_p, best_w, best_size = p, w, p_count * w_count
-            have_best = True
+            score = score_of(p_count, w_count)
+            if score > best_size:
+                best_p, best_w, best_size = p, w, score
+                have_best = True
 
         x_current = list(x)
         for idx, v_star in enumerate(r):
@@ -162,7 +168,7 @@ def bitset_search(
             if (
                 max_possible_p >= tau_p
                 and max_possible_w >= tau_w
-                and max_possible_p * max_possible_w > best_size
+                and bound_of(max_possible_p, max_possible_w) > best_size
             ):
                 recurse(p_new, w_new, r_new, x_new)
             else:

@@ -36,6 +36,7 @@ from repro.mbc.branch_bound import (
     _SearchState,
     flush_search_trace,
 )
+from repro.objectives import get_objective
 from repro.obs.trace import current_trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -66,12 +67,14 @@ def bitset_progressive(
     total = local.num_upper + local.num_lower
     anchored = local.q_local is not None
     q_bit = packed.upper_rank[local.q_local] if anchored else None
-    bounds = options.bounds
+    objective = get_objective(options.objective)
+    bounds = options.bounds if objective.uses_size_bounds else None
     trace = current_trace()
 
     while True:
-        tau_p_k = max(best_size // floor_w, tau_p)
-        tau_w_k = max(floor_w // 2, tau_w)
+        tau_p_k, tau_w_k = objective.round_floors(
+            best_size, floor_w, tau_p, tau_w
+        )
         if trace.enabled:
             trace.add("progressive_rounds")
             nodes_before = trace.counters.get("bb_nodes", 0)
@@ -119,10 +122,12 @@ def bitset_progressive(
                     tau_w_k,
                     best_size,
                     options,
+                    bounds=bounds,
+                    objective=objective,
                 )
                 if found is not None:
                     best = found
-                    best_size = len(best[0]) * len(best[1])
+                    best_size = objective.score(len(best[0]), len(best[1]))
         if trace.enabled:
             round_info["nodes"] = (
                 trace.counters.get("bb_nodes", 0) - nodes_before
@@ -146,6 +151,9 @@ def _run_masked_search(
     tau_w_k: int,
     best_size: int,
     options: "SearchOptions",
+    *,
+    bounds=None,
+    objective=None,
 ) -> tuple[frozenset[int], frozenset[int]] | None:
     """One branch-and-bound run over the alive masks.
 
@@ -156,10 +164,12 @@ def _run_masked_search(
     order: stable degree-descending, with degrees counted against the
     alive upper mask and ties broken by ascending local id.
     """
+    objective = get_objective(
+        objective if objective is not None else options.objective
+    )
     lower_hook = None
     upper_hook = None
-    if options.bounds is not None:
-        bounds = options.bounds
+    if bounds is not None:
         own_side = local.upper_side
         other_side = own_side.other
         lower_globals = local.lower_globals
@@ -176,11 +186,11 @@ def _run_masked_search(
         tau_w=tau_w_k,
         max_p=options.max_p,
         max_w=options.max_w,
-        prune_non_maximal=options.prune_non_maximal
-        and options.bounds is None,
+        prune_non_maximal=options.prune_non_maximal and bounds is None,
         lower_bound_at_least=lower_hook,
         upper_bound_at_most=upper_hook,
         protected_upper=local.q_local,
+        objective=objective,
     )
     survivors = sorted(iter_bits(alive_l), key=lambda b: lower_order[b])
     candidates = sorted(

@@ -1,18 +1,31 @@
-"""Maximum balanced biclique (MBB) substrate.
+"""Maximum balanced biclique (MBB) reference substrate.
 
 The second related-work variant the paper surveys (Section II): find
 the largest biclique with *equally sized* layers.  NP-hard; this
-package provides an exact branch-and-bound for moderate inputs plus
-the classic vertex-deletion greedy heuristic used by the hardware
--oriented literature the paper cites.
+package provides deliberately simple exact searches (global and
+personalized) plus the classic vertex-deletion greedy heuristic used
+by the hardware-oriented literature the paper cites.
+
+These are the *reference* implementations the differential suite
+checks the production ``"balanced"`` objective
+(:mod:`repro.objectives`) against — for actual queries, pass
+``objective="balanced"`` to any query surface instead.  The historical
+``maximum_balanced_biclique`` / ``greedy_balanced_biclique`` entry
+points are deprecated aliases.
 """
 
 from repro.mbb.balanced import (
+    balanced_biclique_reference,
     greedy_balanced_biclique,
+    greedy_balanced_heuristic,
     maximum_balanced_biclique,
+    personalized_balanced_reference,
 )
 
 __all__ = [
+    "balanced_biclique_reference",
+    "personalized_balanced_reference",
+    "greedy_balanced_heuristic",
     "maximum_balanced_biclique",
     "greedy_balanced_biclique",
 ]

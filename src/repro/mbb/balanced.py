@@ -1,4 +1,11 @@
-"""Maximum balanced biclique: exact search and the greedy heuristic.
+"""Balanced-biclique reference implementations (exact, greedy, personalized).
+
+This package is the *oracle* side of the pluggable-objective design:
+the production surface for balanced queries is the ``"balanced"``
+objective in :mod:`repro.objectives` (reachable from every query
+entry point via ``objective="balanced"``), and the functions here are
+deliberately simple level-by-level searches the differential suite
+checks it against.
 
 Exact method: a (k×k)-biclique can only live inside the (k,k)-core
 (Definition 6), and the largest non-empty (δ,δ)-core bounds k ≤ δ.  We
@@ -6,14 +13,24 @@ walk k downward from δ and, per level, run the Branch&Bound substrate
 on the (k,k)-core asking for any biclique with both layers ≥ k — the
 first hit, trimmed to (k×k), is optimal.
 
+Personalized method (:func:`personalized_balanced_reference`): the
+same level-by-level walk, but over the query vertex's two-hop subgraph
+``H_q`` with the anchor protected — the oracle for
+``objective="balanced"`` personalized queries.
+
 Heuristic method (the vertex-deletion scheme of the defect-tolerance
 literature the paper cites, refs [19]-[20]): repeatedly delete an
 endpoint of some missing pair, preferring the vertex covering the most
 missing pairs, until the remaining subgraph is complete; then trim the
 larger layer.
+
+The historical ``maximum_balanced_biclique`` /
+``greedy_balanced_biclique`` names remain as deprecated aliases.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.core.result import Biclique
 from repro.corenum.peeling import alpha_beta_core, max_delta
@@ -46,7 +63,7 @@ def _core_local_graph(
     )
 
 
-def maximum_balanced_biclique(graph: BipartiteGraph) -> Biclique | None:
+def balanced_biclique_reference(graph: BipartiteGraph) -> Biclique | None:
     """The largest (k×k)-biclique, trimmed to balance; None if edgeless.
 
     Exact.  Worst-case exponential (the problem is NP-hard), intended
@@ -71,7 +88,59 @@ def maximum_balanced_biclique(graph: BipartiteGraph) -> Biclique | None:
     return None
 
 
-def greedy_balanced_biclique(graph: BipartiteGraph) -> Biclique | None:
+def personalized_balanced_reference(
+    graph: BipartiteGraph,
+    side: Side,
+    q: int,
+    tau_u: int = 1,
+    tau_l: int = 1,
+) -> Biclique | None:
+    """The largest balanced biclique containing ``q``, trimmed to (k×k).
+
+    The oracle for ``objective="balanced"`` personalized queries: a
+    plain level-by-level walk over ``H_q`` with no progressive
+    bounding, no core-bound hooks and no kernel tricks, so the
+    differential suite can check the production objective against an
+    independently simple implementation.  Both layers of the answer
+    have exactly ``k = min(|U|, |L|)`` vertices with
+    ``k >= max(tau_u, tau_l)``; returns None when no such biclique
+    contains ``q``.
+    """
+    from repro.core.online import extract_local
+
+    floor = max(tau_u, tau_l, 1)
+    local = extract_local(graph, side, q, "set")
+    if local.num_lower == 0:
+        return None
+    # Every lower vertex of H_q is adjacent to q, so the left-closed
+    # search (P = Γ(W)) keeps q in every enumerated biclique.
+    for k in range(min(local.num_upper, local.num_lower), floor - 1, -1):
+        found = branch_and_bound(
+            local,
+            BranchBoundConfig(
+                tau_p=k, tau_w=k, protected_upper=local.q_local
+            ),
+            initial_best_size=k * k - 1,
+            kernel="set",
+        )
+        if found is None:
+            continue
+        keep_upper = [local.q_local]
+        for u in sorted(found[0]):
+            if len(keep_upper) >= k:
+                break
+            if u != local.q_local:
+                keep_upper.append(u)
+        _, own, other = local.to_global(
+            frozenset(keep_upper), frozenset(sorted(found[1])[:k])
+        )
+        if local.upper_side is Side.UPPER:
+            return Biclique(upper=own, lower=other)
+        return Biclique(upper=other, lower=own)
+    return None
+
+
+def greedy_balanced_heuristic(graph: BipartiteGraph) -> Biclique | None:
     """Vertex-deletion heuristic; fast, no optimality guarantee.
 
     Core-guided: for each level k from δ down, the deletion loop runs
@@ -124,3 +193,30 @@ def _deletion_loop(
         upper=frozenset(sorted(upper)[:k]),
         lower=frozenset(sorted(lower)[:k]),
     )
+
+
+# ----------------------------------------------------------------------
+# deprecated aliases (pre-objective entry points)
+
+
+def maximum_balanced_biclique(graph: BipartiteGraph) -> Biclique | None:
+    """Deprecated alias of :func:`balanced_biclique_reference`."""
+    warnings.warn(
+        "maximum_balanced_biclique is deprecated; use "
+        "balanced_biclique_reference (or objective='balanced' on any "
+        "query surface for personalized searches)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return balanced_biclique_reference(graph)
+
+
+def greedy_balanced_biclique(graph: BipartiteGraph) -> Biclique | None:
+    """Deprecated alias of :func:`greedy_balanced_heuristic`."""
+    warnings.warn(
+        "greedy_balanced_biclique is deprecated; use "
+        "greedy_balanced_heuristic",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return greedy_balanced_heuristic(graph)

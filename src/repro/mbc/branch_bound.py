@@ -50,6 +50,7 @@ from typing import Callable
 from repro.graph.subgraph import LocalGraph
 from repro.kernel import resolve_kernel
 from repro.kernel.bitset import bitset_search
+from repro.objectives import PMBC_OBJECTIVE, Objective
 from repro.obs.trace import current_trace
 
 
@@ -82,6 +83,10 @@ class BranchBoundConfig:
 
     protected_upper: int | None = None
     """Local upper vertex that must never be pruned (the anchor ``q``)."""
+
+    objective: Objective = PMBC_OBJECTIVE
+    """Query-family scoring/bounding rule; the default is the paper's
+    edge-count objective (see :mod:`repro.objectives`)."""
 
 
 class _SearchState:
@@ -126,14 +131,14 @@ def branch_and_bound(
     initial_best_size: int = 0,
     kernel: str | None = None,
 ) -> tuple[frozenset[int], frozenset[int]] | None:
-    """Find a biclique larger than ``initial_best_size`` under ``config``.
+    """Find a biclique scoring above ``initial_best_size`` under ``config``.
 
     Returns local ``(upper_ids, lower_ids)`` of the best biclique whose
-    size strictly exceeds ``initial_best_size`` while meeting the
-    minimum constraints and Lemma 6 caps, or None when no such biclique
-    exists.  Every returned biclique contains ``config.protected_upper``
-    when that vertex is adjacent to all local lower vertices (true for
-    an anchored two-hop subgraph).
+    ``config.objective`` score strictly exceeds ``initial_best_size``
+    while meeting the minimum constraints and Lemma 6 caps, or None
+    when no such biclique exists.  Every returned biclique contains
+    ``config.protected_upper`` when that vertex is adjacent to all
+    local lower vertices (true for an anchored two-hop subgraph).
 
     ``kernel`` picks the compute kernel (``"bitset"``/``"set"``); None
     defers to :func:`repro.kernel.default_kernel`.
@@ -251,7 +256,8 @@ def _recurse(
         can_improve = (
             max_possible_p >= config.tau_p
             and max_possible_w >= config.tau_w
-            and max_possible_p * max_possible_w > state.best_size
+            and config.objective.bound(max_possible_p, max_possible_w)
+            > state.best_size
         )
         if can_improve:
             _recurse(
@@ -274,8 +280,8 @@ def _maybe_record(
         return
     if config.max_w is not None and len(w) > config.max_w:
         return
-    size = len(p) * len(w)
-    if size > state.best_size:
+    score = config.objective.score(len(p), len(w))
+    if score > state.best_size:
         state.best_upper = p
         state.best_lower = w
-        state.best_size = size
+        state.best_size = score

@@ -33,6 +33,7 @@ from repro.kernel import resolve_kernel
 from repro.kernel.progressive import bitset_progressive
 from repro.mbc.branch_bound import BranchBoundConfig, branch_and_bound
 from repro.mbc.reductions import reduce_preserving_maximum
+from repro.objectives import Objective, get_objective
 from repro.obs.trace import current_trace
 
 
@@ -42,7 +43,9 @@ class SearchOptions:
 
     bounds: CoreBounds | None = None
     """Global (α,β)-core bounds; enables Lemma 9 pruning and the
-    prefix/suffix bounds inside Branch&Bound (PMBC-OL*)."""
+    prefix/suffix bounds inside Branch&Bound (PMBC-OL*).  Ignored when
+    the objective's ``uses_size_bounds`` is False — the Lemma 9 bounds
+    cap the *edge count*, which is only admissible for ``"pmbc"``."""
 
     max_p: int | None = None
     """Lemma 6 cap on local-upper vertices of the answer (inclusive)."""
@@ -56,6 +59,10 @@ class SearchOptions:
     kernel: str | None = None
     """Compute kernel (``"bitset"``/``"set"``) for the reductions and
     Branch&Bound; None defers to :func:`repro.kernel.default_kernel`."""
+
+    objective: Objective | str | None = None
+    """Query-family objective (name, instance, or None for the default
+    ``"pmbc"``); see :mod:`repro.objectives`."""
 
 
 def maximum_biclique_local(
@@ -79,15 +86,17 @@ def maximum_biclique_local(
         raise ValueError(
             f"size constraints must be >= 1, got ({tau_p}, {tau_w})"
         )
+    objective = get_objective(options.objective)
+    tau_p, tau_w = objective.effective_floors(tau_p, tau_w)
     best = seed
-    best_size = len(seed[0]) * len(seed[1]) if seed else 0
+    best_size = objective.score(len(seed[0]), len(seed[1])) if seed else 0
 
     floor_w = local.max_upper_degree()
     if floor_w < tau_w or local.num_upper < tau_p:
         return best
 
     anchored = local.q_local is not None
-    bounds = options.bounds
+    bounds = options.bounds if objective.uses_size_bounds else None
     kernel = resolve_kernel(options.kernel)
     if kernel == "bitset":
         # The bitset kernel runs the whole round loop in mask space over
@@ -98,8 +107,9 @@ def maximum_biclique_local(
         )
     trace = current_trace()
     while True:
-        tau_p_k = max(best_size // floor_w, tau_p)
-        tau_w_k = max(floor_w // 2, tau_w)
+        tau_p_k, tau_w_k = objective.round_floors(
+            best_size, floor_w, tau_p, tau_w
+        )
         if trace.enabled:
             trace.add("progressive_rounds")
             nodes_before = trace.counters.get("bb_nodes", 0)
@@ -139,11 +149,18 @@ def maximum_biclique_local(
                 round_info["working_lower"] = working.num_lower
             if not anchored or working.q_local is not None:
                 found = _run_branch_bound(
-                    working, tau_p_k, tau_w_k, best_size, options, kernel
+                    working,
+                    tau_p_k,
+                    tau_w_k,
+                    best_size,
+                    options,
+                    kernel,
+                    bounds=bounds,
+                    objective=objective,
                 )
                 if found is not None:
                     best = _map_back(local, working, found)
-                    best_size = len(best[0]) * len(best[1])
+                    best_size = objective.score(len(best[0]), len(best[1]))
         if trace.enabled:
             round_info["nodes"] = (
                 trace.counters.get("bb_nodes", 0) - nodes_before
@@ -194,11 +211,14 @@ def _run_branch_bound(
     best_size: int,
     options: SearchOptions,
     kernel: str | None = None,
+    *,
+    bounds: CoreBounds | None = None,
+    objective: Objective | None = None,
 ) -> tuple[frozenset[int], frozenset[int]] | None:
+    objective = get_objective(objective if objective is not None else options.objective)
     lower_hook = None
     upper_hook = None
-    if options.bounds is not None:
-        bounds = options.bounds
+    if bounds is not None:
         own_side = working.upper_side
         other_side = own_side.other
         lower_globals = working.lower_globals
@@ -218,11 +238,11 @@ def _run_branch_bound(
         # PMBC-OL* discards the maximality check (Section VI-C): the
         # core bounds make it redundant, and with bounds-based skips it
         # is cheaper to drop it.
-        prune_non_maximal=options.prune_non_maximal
-        and options.bounds is None,
+        prune_non_maximal=options.prune_non_maximal and bounds is None,
         lower_bound_at_least=lower_hook,
         upper_bound_at_most=upper_hook,
         protected_upper=working.q_local,
+        objective=objective,
     )
     return branch_and_bound(working, config, best_size, kernel=kernel)
 

@@ -8,9 +8,10 @@ layer calls :func:`publish_trace` once per computation, turning
 per-query traces into the fleet-level series scraped from
 ``/metrics``:
 
-- ``pmbc_search_nodes_total`` — Branch&Bound nodes expanded;
-- ``pmbc_prune_total{rule=...}`` — prune counts by rule (the glossary
-  in :data:`repro.obs.trace.PRUNE_RULES`);
+- ``pmbc_search_nodes_total{objective=...}`` — Branch&Bound nodes
+  expanded, by query-family objective;
+- ``pmbc_prune_total{objective=...,rule=...}`` — prune counts by rule
+  (the glossary in :data:`repro.obs.trace.PRUNE_RULES`) and objective;
 - ``pmbc_twohop_size`` — histogram of extracted ``|H_q|`` vertex
   counts;
 - ``pmbc_progressive_rounds_total``, ``pmbc_index_tree_visits_total``,
@@ -64,6 +65,21 @@ def register_search_metrics(registry) -> None:
     registry.counter("pmbc_traces_total", _HELP["pmbc_traces_total"])
 
 
+def _trace_objective(summary: dict) -> str:
+    """The query-family objective a trace summary was computed under.
+
+    Query traces carry it inside ``meta.query``; batch traces annotate
+    ``meta.objective`` directly (``"mixed"`` for mixed batches).
+    Summaries that predate the objective dimension default to
+    ``"pmbc"``.
+    """
+    meta = summary.get("meta") or {}
+    query = meta.get("query")
+    if isinstance(query, dict) and "objective" in query:
+        return query["objective"]
+    return meta.get("objective", "pmbc")
+
+
 def publish_trace(summary: dict, registry) -> None:
     """Aggregate one trace summary into ``registry``.
 
@@ -76,18 +92,19 @@ def publish_trace(summary: dict, registry) -> None:
         The duck-typed metrics registry to publish into.
     """
     counters = summary.get("counters") or {}
+    objective = _trace_objective(summary)
     registry.counter("pmbc_traces_total", _HELP["pmbc_traces_total"]).inc()
     nodes = counters.get("bb_nodes", 0)
     if nodes:
         registry.counter(
             "pmbc_search_nodes_total", _HELP["pmbc_search_nodes_total"]
-        ).inc(nodes)
+        ).inc(nodes, objective=objective)
     prune_counter = registry.counter(
         "pmbc_prune_total", _HELP["pmbc_prune_total"]
     )
     for rule, count in (summary.get("prunes") or {}).items():
         if count:
-            prune_counter.inc(count, rule=rule)
+            prune_counter.inc(count, rule=rule, objective=objective)
     extractions = counters.get("twohop_extractions", 0)
     if extractions:
         # Batches accumulate sizes over several extractions; observe

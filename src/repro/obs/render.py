@@ -61,10 +61,15 @@ def render_trace(summary: dict) -> str:
 
     query = meta.get("query")
     if query:
-        lines.append(
+        line = (
             "query: side={side} vertex={vertex} "
             "tau_u={tau_u} tau_l={tau_l}".format(**query)
         )
+        # Summaries recorded before the objective dimension lack the key.
+        objective = query.get("objective")
+        if objective is not None:
+            line += f" objective={objective}"
+        lines.append(line)
     if "result" in meta:
         result = meta["result"]
         if result is None:

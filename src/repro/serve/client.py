@@ -104,12 +104,16 @@ class PMBCClient:
         deadline: float | None = None,
         verify: bool = False,
         explain: bool = False,
+        objective: str = "pmbc",
     ) -> dict:
         """POST ``/query``; returns the decoded response payload.
 
         ``side`` may be a single
         :class:`~repro.core.query.QueryRequest` replacing the
-        ``side``/``vertex``/``tau_u``/``tau_l`` arguments.  With
+        ``side``/``vertex``/``tau_u``/``tau_l``/``objective``
+        arguments.  ``objective`` selects the query family (e.g.
+        ``"balanced"``); the server rejects unregistered names with
+        :class:`~repro.serve.service.InvalidRequestError`.  With
         ``explain=True`` the payload carries a ``"trace"`` key — the
         search-trace summary (see docs/observability.md).  Raises the
         matching :class:`~repro.serve.service.ServeError` subclass on a
@@ -129,6 +133,8 @@ class PMBCClient:
                 payload["vertex"] = vertex
             else:
                 raise InvalidRequestError("provide vertex or label")
+            if objective != "pmbc":
+                payload["objective"] = objective
         if deadline is not None:
             payload["deadline"] = deadline
         if verify:
@@ -147,8 +153,9 @@ class PMBCClient:
 
         ``queries`` is a sequence of
         :class:`~repro.core.query.QueryRequest`, dicts (``side`` plus
-        ``vertex`` or ``label``, optional ``tau_u``/``tau_l``), or
-        ``(side, vertex[, tau_u[, tau_l]])`` tuples.  The whole batch
+        ``vertex`` or ``label``, optional
+        ``tau_u``/``tau_l``/``objective``), or ``(side, vertex[,
+        tau_u[, tau_l[, objective]]])`` tuples.  The whole batch
         shares one admission and one ``deadline`` on the server; with
         ``explain=True`` the payload carries the batch's ``"trace"``.
         """

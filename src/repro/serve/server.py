@@ -3,7 +3,8 @@
 Endpoints:
 
 - ``GET /query?side=upper&vertex=3&tau_u=2&tau_l=2`` (or POST the same
-  fields as a JSON body; ``label`` may replace ``vertex``, and
+  fields as a JSON body; ``label`` may replace ``vertex``,
+  ``objective=balanced`` selects another registered query family, and
   ``verify=1`` attaches a structural answer certificate from
   :mod:`repro.core.verify`) — answer a personalized query;
 - ``POST /query_batch`` with ``{"queries": [{...}, ...], "deadline":
@@ -18,6 +19,11 @@ Endpoints:
 ``explain=1`` on ``/query`` (or ``"explain": true`` in a POST body /
 batch body) attaches the computation's search trace to the response —
 see docs/observability.md.
+
+Requests are validated against schema version :data:`SCHEMA_VERSION`
+(echoed in every success payload): an unknown field or an unregistered
+``objective`` is a typed 400 error body, never a silent default or an
+opaque 500.
 
 Service errors map to HTTP statuses: invalid request → 400, queue full
 → 429 (with ``Retry-After``), deadline exceeded → 504, shutting down →
@@ -44,7 +50,38 @@ from repro.serve.service import (
     ServeError,
 )
 
-__all__ = ["PMBCRequestHandler", "PMBCServer", "serve_forever"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "PMBCRequestHandler",
+    "PMBCServer",
+    "serve_forever",
+]
+
+#: Version of the JSON request/response schema.  Bumped whenever a
+#: field is added or its meaning changes; responses echo it so clients
+#: can detect skew.  v2 added ``objective`` and strict unknown-field
+#: rejection (a typo like ``objektive`` is a 400, not a silent default).
+SCHEMA_VERSION = 2
+
+_QUERY_FIELDS = frozenset(
+    {
+        "side", "vertex", "label", "tau_u", "tau_l",
+        "deadline", "verify", "explain", "trace_id", "objective",
+    }
+)
+_BATCH_FIELDS = frozenset({"queries", "deadline", "explain"})
+_BATCH_ITEM_FIELDS = frozenset(
+    {"side", "vertex", "label", "tau_u", "tau_l", "trace_id", "objective"}
+)
+
+
+def _reject_unknown(params: dict, allowed: frozenset, where: str) -> None:
+    unknown = sorted(set(map(str, params)) - allowed)
+    if unknown:
+        raise InvalidRequestError(
+            f"unknown {where} field(s): {', '.join(map(repr, unknown))} "
+            f"(schema v{SCHEMA_VERSION})"
+        )
 
 
 def _parse_side(raw: str) -> Side:
@@ -244,66 +281,70 @@ class PMBCRequestHandler(BaseHTTPRequestHandler):
             },
         )
 
-    def _handle_query(self, params: dict) -> None:
-        service = self.service
+    def _resolve_vertex(self, params: dict, side: Side) -> int:
+        label = params.get("label")
+        if label is not None:
+            try:
+                return self.service.graph.vertex_by_label(side, label)
+            except KeyError:
+                raise InvalidRequestError(
+                    f"no {side.value} vertex labelled {label!r}"
+                ) from None
+        return _parse_int(params, "vertex")
+
+    def _build_request(self, params: dict, where: str) -> QueryRequest:
+        """A validated :class:`QueryRequest` from wire fields.
+
+        Structural violations — an unregistered objective, a non-string
+        trace id — surface as :class:`InvalidRequestError` (HTTP 400)
+        rather than an opaque 500.
+        """
+        side = _parse_side(str(params.get("side", "")))
+        vertex = self._resolve_vertex(params, side)
+        tau_u = _parse_int(params, "tau_u", default=1)
+        tau_l = _parse_int(params, "tau_l", default=1)
+        trace_id = params.get("trace_id")
         try:
-            side = _parse_side(str(params.get("side", "")))
-            label = params.get("label")
-            if label is not None:
-                try:
-                    vertex = service.graph.vertex_by_label(side, label)
-                except KeyError:
-                    raise InvalidRequestError(
-                        f"no {side.value} vertex labelled {label!r}"
-                    ) from None
-            else:
-                vertex = _parse_int(params, "vertex")
-            tau_u = _parse_int(params, "tau_u", default=1)
-            tau_l = _parse_int(params, "tau_l", default=1)
-            deadline = _parse_float(params, "deadline")
-            verify = _parse_flag(params, "verify")
-            explain = _parse_flag(params, "explain")
-            trace_id = params.get("trace_id")
-            request = QueryRequest(
+            return QueryRequest(
                 side,
                 vertex,
                 tau_u,
                 tau_l,
+                objective=str(params.get("objective", "pmbc")),
                 trace_id=str(trace_id) if trace_id else None,
             )
+        except (TypeError, ValueError) as exc:
+            raise InvalidRequestError(f"{where}: {exc}") from None
+
+    def _handle_query(self, params: dict) -> None:
+        service = self.service
+        try:
+            _reject_unknown(params, _QUERY_FIELDS, "query")
+            request = self._build_request(params, "query")
+            deadline = _parse_float(params, "deadline")
+            verify = _parse_flag(params, "verify")
+            explain = _parse_flag(params, "explain")
             result = service.query(
                 request, deadline=deadline, explain=explain
             )
         except ServeError as exc:
             self._send_error_json(exc)
             return
-        self._send_json(
-            200, self._render_result(result, side, vertex, tau_u, tau_l, verify)
-        )
+        self._send_json(200, self._render_result(result, request, verify))
 
     def _parse_batch_item(self, item, position: int) -> QueryRequest:
         if not isinstance(item, dict):
             raise InvalidRequestError(
                 f"queries[{position}] must be a JSON object"
             )
-        side = _parse_side(str(item.get("side", "")))
-        label = item.get("label")
-        if label is not None:
-            try:
-                vertex = self.service.graph.vertex_by_label(side, label)
-            except KeyError:
-                raise InvalidRequestError(
-                    f"no {side.value} vertex labelled {label!r}"
-                ) from None
-        else:
-            vertex = _parse_int(item, "vertex")
-        tau_u = _parse_int(item, "tau_u", default=1)
-        tau_l = _parse_int(item, "tau_l", default=1)
-        return QueryRequest(side, vertex, tau_u, tau_l)
+        where = f"queries[{position}]"
+        _reject_unknown(item, _BATCH_ITEM_FIELDS, where)
+        return self._build_request(item, where)
 
     def _handle_query_batch(self, params: dict) -> None:
         service = self.service
         try:
+            _reject_unknown(params, _BATCH_FIELDS, "batch")
             queries = params.get("queries")
             if not isinstance(queries, list) or not queries:
                 raise InvalidRequestError(
@@ -322,6 +363,7 @@ class PMBCRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(exc)
             return
         payload = {
+            "schema_version": SCHEMA_VERSION,
             "backend": result.backend,
             "count": len(result),
             "queue_ms": result.queue_seconds * 1e3,
@@ -354,18 +396,17 @@ class PMBCRequestHandler(BaseHTTPRequestHandler):
     def _render_result(
         self,
         result: QueryResult,
-        side: Side,
-        vertex: int,
-        tau_u: int,
-        tau_l: int,
+        request: QueryRequest,
         verify: bool,
     ) -> dict:
         payload: dict = {
+            "schema_version": SCHEMA_VERSION,
             "query": {
-                "side": side.value,
-                "vertex": vertex,
-                "tau_u": tau_u,
-                "tau_l": tau_l,
+                "side": request.side.value,
+                "vertex": request.vertex,
+                "tau_u": request.tau_u,
+                "tau_l": request.tau_l,
+                "objective": request.objective,
             },
             "backend": result.backend,
             "shared": result.shared,
@@ -377,8 +418,15 @@ class PMBCRequestHandler(BaseHTTPRequestHandler):
         if result.trace is not None:
             payload["trace"] = result.trace
         if verify:
+            # The structural certificate (query membership, constraint
+            # satisfaction, completeness) is objective-agnostic.
             check = check_personalized_answer(
-                self.service.graph, side, vertex, tau_u, tau_l, biclique
+                self.service.graph,
+                request.side,
+                request.vertex,
+                request.tau_u,
+                request.tau_l,
+                biclique,
             )
             payload["verified"] = {
                 "valid": check.valid,

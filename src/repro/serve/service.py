@@ -17,7 +17,7 @@ suitable for heavy concurrent traffic:
   waiting callers get :class:`DeadlineExceededError` as soon as their
   budget runs out even if a worker is still computing;
 - **single-flight deduplication** of identical concurrent
-  ``(side, vertex, tau_u, tau_l)`` requests (see
+  ``(side, vertex, tau_u, tau_l, objective)`` requests (see
   :mod:`repro.serve.singleflight`);
 - **pluggable execution** (see :mod:`repro.exec`): the CPU-bound
   branch-and-bound runs either in the worker threads themselves
@@ -67,9 +67,10 @@ from repro.exec.executor import (
 )
 from repro.exec.tasks import WorkerState
 from repro.graph.bipartite import BipartiteGraph, Side
+from repro.objectives import get_objective, objective_kinds
 from repro.obs.metrics_bridge import publish_trace, register_search_metrics
 from repro.obs.ring import TraceRing
-from repro.obs.trace import SearchTrace, current_trace, use_trace
+from repro.obs.trace import PRUNE_RULES, SearchTrace, current_trace, use_trace
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.singleflight import SingleFlight, SingleFlightTimeout
 
@@ -276,7 +277,7 @@ class _Request:
     future: Future = field(default_factory=Future)
 
     @property
-    def key(self) -> tuple[Side, int, int, int]:
+    def key(self) -> tuple[Side, int, int, int, str]:
         return self.request.key
 
     def remaining(self, now: float) -> float | None:
@@ -301,7 +302,8 @@ class _PartialBackend:
     A query for a vertex without a resident tree answers
     :data:`repro.adaptive.MISS`, which the degradation walk treats as
     a clean fall-through to the next backend — not a failure, so the
-    fallback counter stays untouched.
+    fallback counter stays untouched.  Requests for objectives the
+    PMBC index storage model cannot answer decline the same way.
     """
 
     name = "partial"
@@ -309,10 +311,12 @@ class _PartialBackend:
     def __init__(self, partial: PartialIndex) -> None:
         self.partial = partial
 
-    def query(
-        self, side: Side, vertex: int, tau_u: int, tau_l: int
-    ) -> Biclique | None:
-        return self.partial.lookup(side, vertex, tau_u, tau_l)
+    def query(self, request: QueryRequest) -> Biclique | None:
+        if not get_objective(request.objective).index_compatible:
+            return MISS
+        return self.partial.lookup(
+            request.side, request.vertex, request.tau_u, request.tau_l
+        )
 
     def query_batch(self, requests):
         # All-or-MISS: a batch is answered here only when every request
@@ -320,7 +324,7 @@ class _PartialBackend:
         # so it stays a single backend walk.
         answers = []
         for r in requests:
-            answer = self.partial.lookup(r.side, r.vertex, r.tau_u, r.tau_l)
+            answer = self.query(r)
             if answer is MISS:
                 return MISS
             answers.append(answer)
@@ -328,22 +332,34 @@ class _PartialBackend:
 
 
 class _IndexBackend:
-    """PMBC-IQ over a prebuilt index: the O(deg(q)+|C|) fast path."""
+    """PMBC-IQ over a prebuilt index: the O(deg(q)+|C|) fast path.
+
+    The index stores edge-count (PMBC) maxima only, so requests for
+    other objectives decline with :data:`repro.adaptive.MISS` and fall
+    through to the online tiers instead of answering the wrong family.
+    """
 
     name = "index"
 
     def __init__(self, index: PMBCIndex) -> None:
         self._index = index
 
-    def query(
-        self, side: Side, vertex: int, tau_u: int, tau_l: int
-    ) -> Biclique | None:
-        return pmbc_index_query(self._index, side, vertex, tau_u, tau_l)
+    def query(self, request: QueryRequest) -> Biclique | None:
+        if not get_objective(request.objective).index_compatible:
+            return MISS
+        return pmbc_index_query(self._index, request)
 
-    def query_batch(self, requests) -> list[Biclique | None]:
+    def query_batch(self, requests):
         # Index lookups touch no two-hop subgraphs; a plain loop is
-        # already the optimal batch plan.
-        return [pmbc_index_query(self._index, r) for r in requests]
+        # already the optimal batch plan.  All-or-MISS on objective so
+        # mixed batches stay a single backend walk downstream.
+        answers = []
+        for r in requests:
+            answer = self.query(r)
+            if answer is MISS:
+                return MISS
+            answers.append(answer)
+        return answers
 
 
 class _ExecBackend:
@@ -360,10 +376,7 @@ class _ExecBackend:
         self.executor = executor
         self.name = "engine" if executor.kind == "thread" else "process"
 
-    def query(
-        self, side: Side, vertex: int, tau_u: int, tau_l: int
-    ) -> Biclique | None:
-        request = QueryRequest(side, vertex, tau_u, tau_l)
+    def query(self, request: QueryRequest) -> Biclique | None:
         if self.executor.kind != "process":
             # Thread execution runs in the calling thread, so the
             # active trace propagates through the context variable.
@@ -396,10 +409,8 @@ class _EngineBackend:
     def __init__(self, engine: PMBCQueryEngine) -> None:
         self.engine = engine
 
-    def query(
-        self, side: Side, vertex: int, tau_u: int, tau_l: int
-    ) -> Biclique | None:
-        return self.engine.query(side, vertex, tau_u, tau_l)
+    def query(self, request: QueryRequest) -> Biclique | None:
+        return self.engine.query(request)
 
     def query_batch(self, requests) -> list[Biclique | None]:
         return self.engine.query_batch(requests)
@@ -414,12 +425,8 @@ class _OnlineBackend:
         self._graph = graph
         self._bounds = bounds
 
-    def query(
-        self, side: Side, vertex: int, tau_u: int, tau_l: int
-    ) -> Biclique | None:
-        return pmbc_online_star(
-            self._graph, side, vertex, tau_u, tau_l, bounds=self._bounds
-        )
+    def query(self, request: QueryRequest) -> Biclique | None:
+        return pmbc_online_star(self._graph, request, bounds=self._bounds)
 
     def query_batch(self, requests) -> list[Biclique | None]:
         from repro.core.online import pmbc_online_batch
@@ -680,6 +687,17 @@ class PMBCService:
             "pmbc_request_latency_seconds",
             "End-to-end latency of successful requests.",
         )
+        self._requests_by_objective = m.counter(
+            "pmbc_requests_by_objective_total",
+            "Admitted requests by query-family objective.",
+        )
+        self._latency_by_objective = {
+            name: m.histogram(
+                f"pmbc_request_latency_{name}_seconds",
+                f"End-to-end latency of successful {name!r} requests.",
+            )
+            for name in objective_kinds()
+        }
         self._queue_wait = m.histogram(
             "pmbc_queue_wait_seconds",
             "Time between admission and worker pickup.",
@@ -883,10 +901,14 @@ class PMBCService:
             raise QueueFullError(
                 f"request queue full ({self.config.max_queue} waiting)"
             ) from None
-        if self.hot_set is not None:
+        self._requests_by_objective.inc(objective=query_request.objective)
+        if self.hot_set is not None and get_objective(
+            query_request.objective
+        ).index_compatible:
             # Record at admission (after the queue accepted the
             # request) so single-flight followers still count toward
-            # the traffic signal.
+            # the traffic signal.  Objectives the partial tier cannot
+            # answer never feed it, so they cannot evict useful trees.
             self.hot_set.record(query_request.side, query_request.vertex)
         return request
 
@@ -997,9 +1019,12 @@ class PMBCService:
             raise QueueFullError(
                 f"request queue full ({self.config.max_queue} waiting)"
             ) from None
+        for request in coerced:
+            self._requests_by_objective.inc(objective=request.objective)
         if self.hot_set is not None:
             for request in coerced:
-                self.hot_set.record(request.side, request.vertex)
+                if get_objective(request.objective).index_compatible:
+                    self.hot_set.record(request.side, request.vertex)
         return batch
 
     # ------------------------------------------------------------------
@@ -1068,6 +1093,9 @@ class PMBCService:
             request, "ok" if biclique is not None else "empty", result=result
         ):
             self._latency.observe(total)
+            hist = self._latency_by_objective.get(request.request.objective)
+            if hist is not None:
+                hist.observe(total)
 
     def _serve_batch(self, batch: _BatchRequest) -> None:
         if batch.future.done():
@@ -1104,6 +1132,10 @@ class PMBCService:
         status = "ok" if any(a is not None for a in answers) else "empty"
         if self._settle(batch, status, result=result):
             self._latency.observe(total)
+            for name in {r.objective for r in batch.requests}:
+                hist = self._latency_by_objective.get(name)
+                if hist is not None:
+                    hist.observe(total)
 
     def _query_backends(
         self, request: _Request
@@ -1115,15 +1147,16 @@ class PMBCService:
         and single-flight followers reuse it.  Returns ``(answer,
         backend name, trace summary)``.
         """
-        side, vertex, tau_u, tau_l = request.key
-        trace = SearchTrace(trace_id=request.request.trace_id)
+        query_request = request.request
+        trace = SearchTrace(trace_id=query_request.trace_id)
         trace.annotate(
             kind="query",
             query={
-                "side": side.value,
-                "vertex": vertex,
-                "tau_u": tau_u,
-                "tau_l": tau_l,
+                "side": query_request.side.value,
+                "vertex": query_request.vertex,
+                "tau_u": query_request.tau_u,
+                "tau_l": query_request.tau_l,
+                "objective": query_request.objective,
             },
         )
         last_error: Exception | None = None
@@ -1131,7 +1164,7 @@ class PMBCService:
             self._backend_queries.inc(backend=backend.name)
             try:
                 with use_trace(trace):
-                    answer = backend.query(side, vertex, tau_u, tau_l)
+                    answer = backend.query(query_request)
             except Exception as exc:
                 last_error = exc
                 nxt = self._backends[position + 1].name \
@@ -1139,9 +1172,14 @@ class PMBCService:
                 self._fallbacks.inc(**{"from": backend.name, "to": nxt})
                 continue
             if answer is MISS:
-                # No resident tree: a clean fall-through, not a
-                # degradation — the fallback counter stays untouched.
-                if self._adaptive_misses is not None:
+                # No resident tree (or an objective the tier cannot
+                # answer): a clean fall-through, not a degradation —
+                # the fallback counter stays untouched.  Only the
+                # partial tier's misses feed the adaptive counters.
+                if (
+                    backend.name == "partial"
+                    and self._adaptive_misses is not None
+                ):
                     self._adaptive_misses.inc()
                 continue
             if backend.name == "partial" and self._adaptive_hits is not None:
@@ -1167,7 +1205,12 @@ class PMBCService:
                 (r.trace_id for r in requests if r.trace_id), None
             )
         )
-        trace.annotate(kind="batch", batch_size=len(requests))
+        objectives = {r.objective for r in requests}
+        trace.annotate(
+            kind="batch",
+            batch_size=len(requests),
+            objective=objectives.pop() if len(objectives) == 1 else "mixed",
+        )
         last_error: Exception | None = None
         for position, backend in enumerate(self._backends):
             self._backend_queries.inc(backend=backend.name)
@@ -1179,9 +1222,7 @@ class PMBCService:
                         if answers is not MISS:
                             answers = list(answers)
                     else:
-                        answers = [
-                            backend.query(*r.key) for r in requests
-                        ]
+                        answers = [backend.query(r) for r in requests]
             except Exception as exc:
                 last_error = exc
                 nxt = self._backends[position + 1].name \
@@ -1189,8 +1230,11 @@ class PMBCService:
                 self._fallbacks.inc(**{"from": backend.name, "to": nxt})
                 continue
             if answers is MISS or any(a is MISS for a in answers):
-                # The partial tier answers a batch all-or-nothing.
-                if self._adaptive_misses is not None:
+                # The partial/index tiers answer a batch all-or-nothing.
+                if (
+                    backend.name == "partial"
+                    and self._adaptive_misses is not None
+                ):
                     self._adaptive_misses.inc(len(requests))
                 continue
             if backend.name == "partial" and self._adaptive_hits is not None:
@@ -1272,6 +1316,42 @@ class PMBCService:
             "adaptive": adaptive,
         }
 
+    def _objective_stats(self) -> dict:
+        """Per-objective request/latency/prune breakdown for ``/stats``.
+
+        Rows come from the :mod:`repro.objectives` registry, so a
+        freshly registered query family shows up (zeroed) without any
+        serving-layer change.  Search-node and prune counts read the
+        objective-labelled series :mod:`repro.obs.metrics_bridge`
+        publishes from each computation's trace summary.
+        """
+        nodes = self.metrics.get("pmbc_search_nodes_total")
+        prunes = self.metrics.get("pmbc_prune_total")
+        breakdown: dict[str, dict] = {}
+        for name in objective_kinds():
+            hist = self._latency_by_objective[name]
+            pruned = {}
+            if prunes is not None:
+                for rule in PRUNE_RULES:
+                    count = prunes.value(rule=rule, objective=name)
+                    if count:
+                        pruned[rule] = int(count)
+            breakdown[name] = {
+                "requests": int(
+                    self._requests_by_objective.value(objective=name)
+                ),
+                "latency_seconds": {
+                    "count": hist.count,
+                    "mean": hist.mean(),
+                    **hist.percentiles(),
+                },
+                "search_nodes": int(nodes.value(objective=name))
+                if nodes is not None
+                else 0,
+                "prunes": pruned,
+            }
+        return breakdown
+
     def stats(self) -> dict:
         """A JSON-friendly snapshot for ``/stats`` and dashboards."""
         cache = self.engine.cache_stats()
@@ -1328,6 +1408,7 @@ class PMBCService:
                 "mean": self._latency.mean(),
                 **self._latency.percentiles(),
             },
+            "objectives": self._objective_stats(),
             "queue_wait_seconds": {
                 "count": self._queue_wait.count,
                 "mean": self._queue_wait.mean(),

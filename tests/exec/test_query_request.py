@@ -18,7 +18,7 @@ from repro.serve import PMBCService, ServiceConfig
 def test_query_request_normalizes_side_strings():
     request = QueryRequest("upper", 3, 2, 1)
     assert request.side is Side.UPPER
-    assert request.key == (Side.UPPER, 3, 2, 1)
+    assert request.key == (Side.UPPER, 3, 2, 1, "pmbc")
     assert request.to_json() == {
         "side": "upper", "vertex": 3, "tau_u": 2, "tau_l": 1,
     }

@@ -72,7 +72,7 @@ def test_process_service_deadline_and_queue_semantics(paper_graph):
     class _SlowBackend:
         name = "slow"
 
-        def query(self, side, vertex, tau_u, tau_l):
+        def query(self, request):
             release.wait(10)
             return None
 

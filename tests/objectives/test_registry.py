@@ -1,0 +1,134 @@
+"""Unit tests for the query-family objective interface and registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import QueryRequest
+from repro.objectives import (
+    BALANCED_OBJECTIVE,
+    DEFAULT_OBJECTIVE,
+    PMBC_OBJECTIVE,
+    BalancedObjective,
+    Objective,
+    get_objective,
+    objective_kinds,
+    register_objective,
+)
+
+
+def test_default_objective_is_pmbc():
+    assert DEFAULT_OBJECTIVE == "pmbc"
+    assert get_objective(None) is PMBC_OBJECTIVE
+    assert get_objective("pmbc") is PMBC_OBJECTIVE
+
+
+def test_objective_kinds_lists_default_first():
+    kinds = objective_kinds()
+    assert kinds[0] == "pmbc"
+    assert "balanced" in kinds
+
+
+def test_get_objective_passes_instances_through():
+    assert get_objective(PMBC_OBJECTIVE) is PMBC_OBJECTIVE
+    assert get_objective(BALANCED_OBJECTIVE) is BALANCED_OBJECTIVE
+
+
+def test_get_objective_rejects_unknown_names():
+    with pytest.raises(ValueError, match="balanced"):
+        get_objective("biplex")
+
+
+def test_reregistering_same_instance_is_idempotent():
+    register_objective(PMBC_OBJECTIVE)
+    assert get_objective("pmbc") is PMBC_OBJECTIVE
+
+
+def test_registering_conflicting_instance_raises():
+    with pytest.raises(ValueError, match="balanced"):
+        register_objective(BalancedObjective())
+
+
+def test_pmbc_objective_scores_edge_count():
+    assert PMBC_OBJECTIVE.score(3, 4) == 12
+    assert PMBC_OBJECTIVE.bound(5, 7) == 35
+    assert PMBC_OBJECTIVE.uses_size_bounds
+    assert PMBC_OBJECTIVE.index_compatible
+    assert PMBC_OBJECTIVE.effective_floors(2, 3) == (2, 3)
+
+
+def test_pmbc_round_floors_reproduce_algorithm_one():
+    # With an incumbent of 12 edges and a working floor of 4, the next
+    # round needs tau_p >= 12 // 4 = 3, and floor_w halves.
+    assert PMBC_OBJECTIVE.round_floors(12, 4, 1, 1) == (3, 2)
+    # The caller's minimums are never relaxed.
+    assert PMBC_OBJECTIVE.round_floors(0, 4, 2, 3) == (2, 3)
+
+
+def test_balanced_objective_scores_min_side():
+    assert BALANCED_OBJECTIVE.score(3, 5) == 3
+    assert BALANCED_OBJECTIVE.bound(4, 9) == 4
+    assert not BALANCED_OBJECTIVE.uses_size_bounds
+    assert not BALANCED_OBJECTIVE.index_compatible
+
+
+def test_balanced_effective_floors_symmetrize():
+    assert BALANCED_OBJECTIVE.effective_floors(2, 5) == (5, 5)
+    assert BALANCED_OBJECTIVE.effective_floors(4, 1) == (4, 4)
+
+
+def test_balanced_round_floors_terminate():
+    # Raising only the upper floor preserves the driver's
+    # "floor_w decayed to tau_w" termination test.
+    tau_p, tau_w = BALANCED_OBJECTIVE.round_floors(3, 8, 2, 2)
+    assert tau_p == 4
+    assert tau_w == 4
+    __, final_w = BALANCED_OBJECTIVE.round_floors(3, 2, 2, 2)
+    assert final_w == 2  # the driver's exit round is reachable
+
+
+def test_balanced_finalize_trims_keeping_anchor():
+    upper, lower = BALANCED_OBJECTIVE.finalize(
+        frozenset({1, 5, 9}), frozenset({2, 4}), anchor_upper=9
+    )
+    assert len(upper) == len(lower) == 2
+    assert 9 in upper
+
+
+def test_abstract_objective_requires_score():
+    with pytest.raises(NotImplementedError):
+        Objective().score(1, 1)
+
+
+def test_query_request_validates_objective():
+    assert QueryRequest("upper", 0).objective == "pmbc"
+    balanced = QueryRequest("upper", 0, objective="balanced")
+    assert balanced.key[-1] == "balanced"
+    assert balanced.to_json()["objective"] == "balanced"
+    with pytest.raises(ValueError):
+        QueryRequest("upper", 0, objective="biplex")
+    with pytest.raises(TypeError):
+        QueryRequest("upper", 0, objective=7)
+
+
+def test_query_request_objective_separates_identity():
+    pmbc = QueryRequest("upper", 0, 2, 2)
+    balanced = QueryRequest("upper", 0, 2, 2, objective="balanced")
+    assert pmbc != balanced
+    assert pmbc.key != balanced.key
+    assert "objective" not in pmbc.to_json()
+
+
+def test_index_lookups_reject_non_pmbc_objectives(paper_graph):
+    from repro.core import build_index_star
+    from repro.core.query import pmbc_index_query, pmbc_index_topk
+    from repro.graph.bipartite import Side
+
+    index = build_index_star(paper_graph)
+    request = QueryRequest(Side.UPPER, 0, 1, 1, objective="balanced")
+    with pytest.raises(ValueError, match="not answerable from a PMBC index"):
+        pmbc_index_query(index, request)
+    with pytest.raises(ValueError, match="not answerable from a PMBC index"):
+        pmbc_index_topk(index, request, k=2)
+    # The default objective keeps working untouched.
+    assert pmbc_index_query(index, QueryRequest(Side.UPPER, 0)) is not None

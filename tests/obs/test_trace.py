@@ -278,10 +278,10 @@ def test_publish_trace_aggregates_counters():
     assert registry.counter("pmbc_traces_total", "").total() == 2
     assert registry.counter("pmbc_search_nodes_total", "").total() == 246
     prune = registry.counter("pmbc_prune_total", "")
-    assert prune.value(rule="size_bound") == 100
-    assert prune.value(rule="core_z_bound") == 18
+    assert prune.value(rule="size_bound", objective="pmbc") == 100
+    assert prune.value(rule="core_z_bound", objective="pmbc") == 18
     rendered = registry.render()
-    assert 'pmbc_prune_total{rule="size_bound"}' in rendered
+    assert 'pmbc_prune_total{objective="pmbc",rule="size_bound"}' in rendered
     assert "pmbc_twohop_size_bucket" in rendered
 
 

@@ -115,7 +115,7 @@ def test_search_counters_reach_metrics(service):
     service.query(Side.UPPER, 0, 2, 2)
     rendered = service.metrics.render()
     assert "pmbc_search_nodes_total" in rendered
-    assert 'pmbc_prune_total{rule="' in rendered
+    assert 'pmbc_prune_total{objective="pmbc",rule="' in rendered
     assert "pmbc_twohop_size_bucket" in rendered
     assert "pmbc_traces_total 1" in rendered
 

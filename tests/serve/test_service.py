@@ -35,7 +35,7 @@ class _SlowBackend:
         self.calls = 0
         self._lock = threading.Lock()
 
-    def query(self, side, vertex, tau_u, tau_l):
+    def query(self, request):
         with self._lock:
             self.calls += 1
         if self.release is not None:
@@ -51,7 +51,7 @@ class _FailingBackend:
     def __init__(self):
         self.calls = 0
 
-    def query(self, side, vertex, tau_u, tau_l):
+    def query(self, request):
         self.calls += 1
         raise RuntimeError("synthetic backend outage")
 

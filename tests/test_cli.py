@@ -302,3 +302,92 @@ def test_explain_by_label(edges_file, capsys):
     assert code == 0
     summary = json.loads(capsys.readouterr().out)
     assert summary["meta"]["result"]["shape"] == [4, 3]
+
+
+def test_query_balanced_objective(edges_file, capsys):
+    code = main(
+        [
+            "query", edges_file, "--side", "upper", "--vertex", "0",
+            "--tau-u", "2", "--tau-l", "2", "--objective", "balanced",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["shape"][0] == payload["shape"][1] >= 2
+
+
+def test_query_balanced_with_index_is_clean_error(
+    edges_file, tmp_path, capsys
+):
+    index_path = str(tmp_path / "index.json")
+    assert main(["build", edges_file, "-o", index_path]) == 0
+    capsys.readouterr()
+    code = main(
+        [
+            "query", edges_file, "--index", index_path,
+            "--side", "upper", "--vertex", "0",
+            "--objective", "balanced",
+        ]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "balanced" in err
+    assert "--index" in err
+
+
+def test_query_unknown_objective_rejected(edges_file, capsys):
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "query", edges_file, "--side", "upper", "--vertex", "0",
+                "--objective", "biplex",
+            ]
+        )
+
+
+def test_explain_balanced_objective(edges_file, capsys):
+    code = main(
+        ["explain", edges_file, "0", "2", "2", "--objective", "balanced"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "objective=balanced" in out
+    assert "progressive-bounding rounds" in out
+
+
+def test_batch_file_balanced_objective(edges_file, tmp_path, capsys):
+    batch = tmp_path / "batch.json"
+    batch.write_text(
+        json.dumps(
+            [
+                {"side": "upper", "vertex": 0, "objective": "balanced"},
+                {"side": "upper", "vertex": 1},
+            ]
+        )
+    )
+    code = main(
+        ["query", edges_file, "--batch-file", str(batch)]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    first = payload["results"][0]
+    assert first["query"]["objective"] == "balanced"
+    assert first["result"]["shape"][0] == first["result"]["shape"][1]
+
+
+def test_batch_file_balanced_with_index_is_clean_error(
+    edges_file, tmp_path, capsys
+):
+    index_path = str(tmp_path / "index.json")
+    assert main(["build", edges_file, "-o", index_path]) == 0
+    batch = tmp_path / "batch.json"
+    batch.write_text(
+        json.dumps([{"side": "upper", "vertex": 0, "objective": "balanced"}])
+    )
+    capsys.readouterr()
+    code = main(
+        ["query", edges_file, "--index", index_path,
+         "--batch-file", str(batch)]
+    )
+    assert code == 2
+    assert "balanced" in capsys.readouterr().err
