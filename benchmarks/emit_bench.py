@@ -3,8 +3,9 @@
 
 Two suites, selected with ``--suite {kernel,serve,all}``:
 
-**kernel** (default) emits ``BENCH_kernel.json``, a set-vs-bitset
-kernel latency snapshot — see below.
+**kernel** (default) emits ``BENCH_kernel.json``, a kernel latency
+snapshot covering all three compute kernels (``set``, ``bitset``,
+``words``) plus a batched-vs-per-request comparison — see below.
 
 **serve** emits ``BENCH_serve.json``: a Zipf-skewed serve workload
 against a :class:`repro.serve.PMBCService` with the traffic-adaptive
@@ -27,30 +28,46 @@ mean (the Figure 6 protocol: the benchmark times the whole query sweep,
 so heavy personalized queries dominate, which is exactly the regime the
 bitset kernel targets) and ``speedup_p50`` on the median query (the
 typical-query view; small two-hop subgraphs leave word-parallelism
-little to chew on, so this is the kernel's worst case).  The summary
-reports the median of each per size class; the headline metric is the
-workload one.  Latencies are per-query best-of-N to keep the snapshot
-stable on noisy machines.
+little to chew on, so this is the kernel's worst case).  The ``words``
+kernel rides the same rows head-to-head (``speedup_mean_words`` /
+``speedup_p50_words``, also over ``set``).  The summary reports the
+median of each per size class; the headline metric is the workload
+one.  Latencies are per-query best-of-N to keep the snapshot stable on
+noisy machines.
 
-Both kernels answer every query in the same process and the result
+All kernels answer every query in the same process and the result
 sizes are asserted equal — each snapshot doubles as a differential run.
 The plan also carries a ``balanced`` suite: the same Figure 6 datasets
 queried under the pluggable ``"balanced"`` objective
 (:mod:`repro.objectives`), so the snapshot covers the objective ×
 kernel matrix, not just the PMBC family.
 
+A ``batch`` suite rounds out the kernel snapshot: a Zipf-skewed
+request stream (τ floors alternating, duplicates expected — that is
+serving traffic) is answered once via :func:`pmbc_online_batch` and
+once as a per-request :func:`pmbc_online` loop, per packed kernel.
+Rows record whole-stream latency stats for both execution modes and
+the speedup of batched over per-request; answers are asserted equal,
+so the batch rows double as a batch-vs-single differential run.
+
 ``--smoke`` runs a two-dataset subset with fewer repeats and exits
-non-zero unless the bitset kernel is at least as fast as the set
-kernel on every smoke row of the **pmbc** suites (the CI
+non-zero unless (a) the bitset kernel is at least as fast as the set
+kernel on every smoke row of the **pmbc** suites and (b) the batched
+path beats per-request execution on every batch row (the CI
 benchmark-smoke gate).  Balanced rows are exempt from the speed gate —
 the balanced family switches the Lemma 9 size bounds off, so the
-bitset advantage is not contractual there — but their cross-kernel
-answer equality is still asserted.
+bitset advantage is not contractual there — and the ``words`` columns
+are head-to-head measurements, not gates: the word-array kernel trades
+per-query scan latency for in-place mutation, so it is expected to
+trail on narrow per-query extractions and win where reduction loops
+dominate.  Cross-kernel answer equality is asserted on every row
+regardless.
 """
 
 from __future__ import annotations
 
 import argparse
+import itertools
 import json
 import platform
 import statistics
@@ -62,9 +79,11 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.bench.workloads import top_degree_queries  # noqa: E402
-from repro.core.online import pmbc_online  # noqa: E402
+from repro.bench.workloads import top_degree_queries, zipf_queries  # noqa: E402
+from repro.core.online import pmbc_online, pmbc_online_batch  # noqa: E402
+from repro.core.query import QueryRequest  # noqa: E402
 from repro.corenum.bounds import compute_bounds  # noqa: E402
+from repro.kernel import KERNEL_KINDS, PACKED_KERNELS  # noqa: E402
 from repro.datasets.zoo import (  # noqa: E402
     dataset_names,
     load_dataset,
@@ -82,6 +101,13 @@ SIZE_CLASSES = ((2000, "small"), (5000, "medium"), (float("inf"), "large"))
 
 SMOKE_DATASETS = ("Writers", "StackOverflow")
 BALANCED_TAU = 2
+
+#: Batch-suite workload: a Zipf request stream (repeats are the point)
+#: with alternating τ floors, answered batched vs per-request.
+BATCH_NUM_QUERIES = 80
+BATCH_SMOKE_QUERIES = 60
+BATCH_EXPONENT = 1.2
+BATCH_TAUS = (TAU_FIG6, 2)
 
 #: Serve-suite workload: a Zipf stream against the Github dataset.
 SERVE_DATASET = "Github"
@@ -137,19 +163,21 @@ def latency_stats(latencies: list[float]) -> dict:
 
 
 def bench_case(graph, queries, tau, bounds, repeats, objective="pmbc"):
-    """One (dataset, config) row: both kernels, checked and timed."""
+    """One (dataset, config) row: every kernel, checked and timed."""
     kernels = {}
     sizes_by_kernel = {}
-    for kernel in ("set", "bitset"):
+    for kernel in KERNEL_KINDS:
         latencies, sizes = run_workload(
             graph, queries, tau, bounds, kernel, repeats, objective
         )
         kernels[kernel] = latency_stats(latencies)
         sizes_by_kernel[kernel] = sizes
-    if sizes_by_kernel["set"] != sizes_by_kernel["bitset"]:
-        raise AssertionError(
-            "kernel answers diverged — differential failure on this config"
-        )
+    for kernel in PACKED_KERNELS:
+        if sizes_by_kernel["set"] != sizes_by_kernel[kernel]:
+            raise AssertionError(
+                f"{kernel} answers diverged from set — differential "
+                "failure on this config"
+            )
     speedups = {
         "speedup_mean": round(
             kernels["set"]["mean_ms"] / kernels["bitset"]["mean_ms"], 3
@@ -157,8 +185,90 @@ def bench_case(graph, queries, tau, bounds, repeats, objective="pmbc"):
         "speedup_p50": round(
             kernels["set"]["p50_ms"] / kernels["bitset"]["p50_ms"], 3
         ),
+        "speedup_mean_words": round(
+            kernels["set"]["mean_ms"] / kernels["words"]["mean_ms"], 3
+        ),
+        "speedup_p50_words": round(
+            kernels["set"]["p50_ms"] / kernels["words"]["p50_ms"], 3
+        ),
     }
     return kernels, speedups
+
+
+def batch_requests(graph, num_queries):
+    """The Zipf batch stream as :class:`QueryRequest`s with a τ mix.
+
+    Alternating τ floors model clients asking different questions about
+    the same hot vertices: exact duplicates (same vertex, same floors)
+    exercise the duplicate collapse, near-duplicates (same vertex,
+    different floors) exercise the shared extraction and the seed /
+    reduction memos.
+    """
+    stream = zipf_queries(
+        graph,
+        num_queries=num_queries,
+        exponent=BATCH_EXPONENT,
+        seed=WORKLOAD_SEED,
+    )
+    return [
+        QueryRequest(side, vertex, tau, tau)
+        for (side, vertex), tau in zip(stream, itertools.cycle(BATCH_TAUS))
+    ]
+
+
+def bench_batch_case(graph, requests, bounds, kernel, repeats):
+    """Batched vs per-request packed search over one request stream.
+
+    Times ``repeats`` full passes of each execution mode over the same
+    stream (whole-stream totals, not per-query) and asserts the batched
+    answers match the per-request ones — a batch-vs-single differential
+    check on top of the timing.
+    """
+    batch_totals: list[float] = []
+    single_totals: list[float] = []
+    perf_counter = time.perf_counter
+    batched = singles = None
+    for __ in range(repeats):
+        t0 = perf_counter()
+        batched = pmbc_online_batch(
+            graph, requests, bounds=bounds, kernel=kernel
+        )
+        batch_totals.append((perf_counter() - t0) * 1e3)
+        t0 = perf_counter()
+        singles = [
+            pmbc_online(
+                graph,
+                r.side,
+                r.vertex,
+                r.tau_u,
+                r.tau_l,
+                bounds=bounds,
+                kernel=kernel,
+                objective=r.objective,
+            )
+            for r in requests
+        ]
+        single_totals.append((perf_counter() - t0) * 1e3)
+    batch_sizes = [b.num_edges if b else 0 for b in batched]
+    single_sizes = [s.num_edges if s else 0 for s in singles]
+    if batch_sizes != single_sizes:
+        raise AssertionError(
+            "batched answers diverged from per-request — differential "
+            "failure on this config"
+        )
+    modes = {
+        "batched": latency_stats(batch_totals),
+        "per_request": latency_stats(single_totals),
+    }
+    speedups = {
+        "speedup_mean": round(
+            modes["per_request"]["mean_ms"] / modes["batched"]["mean_ms"], 3
+        ),
+        "speedup_p50": round(
+            modes["per_request"]["p50_ms"] / modes["batched"]["p50_ms"], 3
+        ),
+    }
+    return modes, speedups
 
 
 def build_plan(smoke: bool, only: list[str] | None):
@@ -426,7 +536,7 @@ def run_serve_suite(args) -> int:
 
 
 def run_kernel_suite(args) -> int:
-    """Run the set-vs-bitset suite and write ``BENCH_kernel.json``."""
+    """Run the kernel and batch suites and write ``BENCH_kernel.json``."""
     repeats = args.repeats or (3 if args.smoke else 5)
 
     graphs: dict[str, object] = {}
@@ -481,13 +591,50 @@ def run_kernel_suite(args) -> int:
             f"{suite} {dataset:14s} {config:12s} "
             f"set={kernels['set']['mean_ms']:.3f}ms "
             f"bitset={kernels['bitset']['mean_ms']:.3f}ms "
+            f"words={kernels['words']['mean_ms']:.3f}ms "
             f"x{speedups['speedup_mean']:.2f} "
-            f"(p50 x{speedups['speedup_p50']:.2f})",
+            f"(p50 x{speedups['speedup_p50']:.2f}, "
+            f"words x{speedups['speedup_mean_words']:.2f})",
             flush=True,
         )
 
+    batch_datasets = SMOKE_DATASETS if args.smoke else tuple(dataset_names())
+    if args.datasets:
+        batch_datasets = tuple(
+            d for d in batch_datasets if d in args.datasets
+        ) or tuple(args.datasets)
+    num_batch = BATCH_SMOKE_QUERIES if args.smoke else BATCH_NUM_QUERIES
+    batch_config = f"zipf tau={BATCH_TAUS[0]}/{BATCH_TAUS[1]}"
+    for dataset in batch_datasets:
+        graph = graph_of(dataset)
+        requests = batch_requests(graph, num_batch)
+        for kernel in PACKED_KERNELS:
+            modes, speedups = bench_batch_case(
+                graph, requests, bounds_of(dataset), kernel, repeats
+            )
+            rows.append(
+                {
+                    "suite": "batch",
+                    "dataset": dataset,
+                    "size_class": size_class(graph.num_edges),
+                    "config": f"{batch_config} {kernel}",
+                    "objective": "pmbc",
+                    "kernel": kernel,
+                    "modes": modes,
+                    **speedups,
+                }
+            )
+            print(
+                f"batch {dataset:14s} {kernel:7s} "
+                f"per-request={modes['per_request']['mean_ms']:.1f}ms "
+                f"batched={modes['batched']['mean_ms']:.1f}ms "
+                f"x{speedups['speedup_mean']:.2f} "
+                f"(p50 x{speedups['speedup_p50']:.2f})",
+                flush=True,
+            )
+
     summary = {}
-    for suite in ("fig6", "fig7", "balanced"):
+    for suite in ("fig6", "fig7", "balanced", "batch"):
         for label in ("small", "medium", "large"):
             selected = [
                 r
@@ -518,6 +665,12 @@ def run_kernel_suite(args) -> int:
             "seed": WORKLOAD_SEED,
             "repeats": repeats,
             "timing": "per-query best-of-repeats",
+            "batch": {
+                "num_queries": num_batch,
+                "exponent": BATCH_EXPONENT,
+                "taus": list(BATCH_TAUS),
+                "timing": "whole-stream totals over repeats",
+            },
         },
         "results": rows,
         "summary": summary,
@@ -527,23 +680,38 @@ def run_kernel_suite(args) -> int:
 
     if args.smoke:
         # Balanced rows are differential-only: without the Lemma 9 size
-        # bounds the bitset kernel's edge is not guaranteed, so only the
+        # bounds the packed kernels' edge is not guaranteed, so only the
         # pmbc-objective rows gate on speed.
-        slow = [
-            r
-            for r in rows
-            if r["objective"] == "pmbc" and r["speedup_mean"] < 1.0
-        ]
-        if slow:
-            for r in slow:
+        failed = False
+        for r in rows:
+            if r["objective"] != "pmbc":
+                continue
+            if r["suite"] == "batch":
+                if r["speedup_mean"] < 1.0:
+                    failed = True
+                    print(
+                        f"SMOKE FAIL: batched not faster than per-request "
+                        f"on {r['dataset']} {r['config']} "
+                        f"(x{r['speedup_mean']})",
+                        file=sys.stderr,
+                    )
+                continue
+            # Only bitset gates on speed: words trades per-query scan
+            # latency for in-place mutation and only wins when reduction
+            # loops dominate (batch rows, index builds), so its fig6
+            # columns are reported head-to-head, not gated.
+            if r["speedup_mean"] < 1.0:
+                failed = True
                 print(
                     f"SMOKE FAIL: bitset slower than set on "
                     f"{r['dataset']} {r['config']} (x{r['speedup_mean']})",
                     file=sys.stderr,
                 )
+        if failed:
             return 1
         print(
-            "smoke ok: bitset >= set on every pmbc smoke config; "
+            "smoke ok: bitset >= set on every pmbc smoke config, "
+            "batched beats per-request on every batch row; "
             "kernels agreed on every objective"
         )
     return 0

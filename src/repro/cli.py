@@ -40,6 +40,7 @@ from repro.core import (
 from repro.core.serialize import IndexFormatError
 from repro.graph.bipartite import BipartiteGraph, Side
 from repro.graph.io import read_edge_list, read_konect
+from repro.kernel import KERNEL_KINDS
 from repro.objectives import get_objective, objective_kinds
 
 
@@ -395,6 +396,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_deadline=args.deadline if args.deadline > 0 else None,
         cache_size=args.cache_size,
         use_core_bounds=not args.no_core_bounds,
+        kernel=args.kernel,
         execution=args.execution,
         exec_workers=args.exec_workers,
         adaptive=args.adaptive,
@@ -407,10 +409,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         service, host=args.host, port=args.port, verbose=args.verbose
     )
     chain = " -> ".join(service.backend_names)
-    execution = service.stats()["execution"]
+    stats = service.stats()
+    execution = stats["execution"]
     print(
         f"pmbc serve: |U|={graph.num_upper} |L|={graph.num_lower} "
         f"|E|={graph.num_edges}, backends: {chain}, "
+        f"kernel: {stats['kernel']}, "
         f"execution: {execution['kind']} x{execution['workers']}",
         flush=True,
     )
@@ -611,6 +615,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "(0 disables; default 30)")
     p_serve.add_argument("--cache-size", type=int, default=256,
                          help="two-hop LRU capacity of the shared engine")
+    p_serve.add_argument("--kernel", choices=KERNEL_KINDS, default=None,
+                         help="compute kernel for every search the service "
+                              "runs (default: PMBC_KERNEL env or bitset); "
+                              "see docs/kernel.md")
     p_serve.add_argument("--adaptive", action="store_true",
                          help="enable the traffic-adaptive partial index "
                               "(background builds for hot vertices)")

@@ -13,7 +13,11 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
-from repro.core.online import extract_local, pmbc_online_local
+from repro.core.online import (
+    answer_group_local,
+    extract_local,
+    pmbc_online_local,
+)
 from repro.core.query import QueryRequest, as_request
 from repro.core.result import Biclique
 from repro.corenum.bounds import CoreBounds, compute_bounds
@@ -57,9 +61,9 @@ class PMBCQueryEngine:
         Precomputed :class:`CoreBounds` to reuse (skips the offline
         computation regardless of ``use_core_bounds``).
     kernel:
-        Compute kernel (``"bitset"``/``"set"``) for every search this
-        engine runs; resolved **once** at construction (None defers to
-        :func:`repro.kernel.default_kernel`).
+        Compute kernel (``"bitset"``/``"set"``/``"words"``) for every
+        search this engine runs; resolved **once** at construction
+        (None defers to :func:`repro.kernel.default_kernel`).
     """
 
     def __init__(
@@ -164,10 +168,14 @@ class PMBCQueryEngine:
         Requests are grouped by ``(side, vertex)`` so each distinct
         query vertex's two-hop subgraph is extracted **at most once**
         per batch — even when the LRU is smaller than the batch's
-        working set, and regardless of request order.  The (α,β)-core
-        bounds were computed once at engine construction, so a batch
-        pays the offline cost zero additional times.  Answers come back
-        in request order.
+        working set, and regardless of request order.  Each group is
+        answered from its one shared extraction
+        (:func:`repro.core.online.answer_group_local`): duplicate
+        requests share a single search, distinct requests share the
+        packed view and the memoized seeds/reductions of
+        :mod:`repro.kernel.batch`.  The (α,β)-core bounds were computed
+        once at engine construction, so a batch pays the offline cost
+        zero additional times.  Answers come back in request order.
         """
         reqs = [QueryRequest.of(r) for r in requests]
         for request in reqs:
@@ -179,21 +187,27 @@ class PMBCQueryEngine:
             range(len(reqs)),
             key=lambda i: (reqs[i].side.value, reqs[i].vertex),
         )
-        current: tuple[Side, int] | None = None
-        local: LocalGraph | None = None
-        for i in order:
-            request = reqs[i]
-            if (request.side, request.vertex) != current:
-                local = self._two_hop(request.side, request.vertex)
-                current = (request.side, request.vertex)
-            results[i] = pmbc_online_local(
+        start = 0
+        while start < len(order):
+            side = reqs[order[start]].side
+            vertex = reqs[order[start]].vertex
+            stop = start
+            while stop < len(order) and (
+                reqs[order[stop]].side is side
+                and reqs[order[stop]].vertex == vertex
+            ):
+                stop += 1
+            local = self._two_hop(side, vertex)
+            group = order[start:stop]
+            answers = answer_group_local(
                 local,
-                request.tau_u,
-                request.tau_l,
+                [reqs[i] for i in group],
                 bounds=self._bounds,
                 kernel=self._kernel,
-                objective=request.objective,
             )
+            for i, answer in zip(group, answers):
+                results[i] = answer
+            start = stop
         return results
 
     def _validate(self, side: Side, q: int, tau_u: int, tau_l: int) -> None:

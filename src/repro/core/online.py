@@ -16,7 +16,7 @@ from repro.core.result import Biclique
 from repro.corenum.bounds import CoreBounds
 from repro.graph.bipartite import BipartiteGraph, Side
 from repro.graph.subgraph import LocalGraph, two_hop_subgraph
-from repro.kernel import resolve_kernel
+from repro.kernel import is_packed_kernel, resolve_kernel
 from repro.kernel.packed import two_hop_packed
 from repro.mbc.greedy import greedy_biclique
 from repro.mbc.progressive import SearchOptions, maximum_biclique_local
@@ -61,9 +61,10 @@ def pmbc_online(
         constructor.  They are redundant for correctness (any
         constraint-valid candidate obeys them) and only prune search.
     kernel:
-        Compute kernel for the search (``"bitset"``/``"set"``); None
-        defers to :func:`repro.kernel.default_kernel`.  Both kernels
-        return identical answers.
+        Compute kernel for the search (``"bitset"``/``"set"``/
+        ``"words"``); None defers to
+        :func:`repro.kernel.default_kernel`.  All kernels return
+        identical answers.
     objective:
         Query-family name from the :mod:`repro.objectives` registry
         (default ``"pmbc"``); ``"balanced"`` maximizes ``min(|U|,|L|)``
@@ -198,14 +199,22 @@ def pmbc_online_batch(
 
     The batch analogue of :func:`pmbc_online_star`: the (α,β)-core
     bounds are computed **once** for the whole batch (instead of once
-    per call) and requests are grouped by query vertex so each distinct
-    two-hop subgraph is extracted exactly once.  Answers come back in
-    request order.
+    per call), requests are grouped by query vertex so each distinct
+    two-hop subgraph is extracted exactly once, and each group is
+    answered from that one shared extraction
+    (:func:`answer_group_local`): duplicate requests share one search,
+    and the per-extraction seed/reduction caches of
+    :mod:`repro.kernel.batch` amortize the progressive rounds across
+    the rest.  Answers come back in request order.
     """
     from repro.corenum.bounds import compute_bounds
 
     reqs = [QueryRequest.of(r) for r in requests]
     kernel = resolve_kernel(kernel)
+    for request in reqs:
+        _validate_query(
+            graph, request.side, request.vertex, request.tau_u, request.tau_l
+        )
     if bounds is None and use_core_bounds and reqs:
         bounds = compute_bounds(graph)
     results: list[Biclique | None] = [None] * len(reqs)
@@ -213,22 +222,60 @@ def pmbc_online_batch(
         range(len(reqs)),
         key=lambda i: (reqs[i].side.value, reqs[i].vertex),
     )
-    current: tuple[Side, int] | None = None
-    local: LocalGraph | None = None
-    for i in order:
-        request = reqs[i]
-        _validate_query(
-            graph, request.side, request.vertex, request.tau_u, request.tau_l
+    trace = current_trace()
+    start = 0
+    while start < len(order):
+        side = reqs[order[start]].side
+        vertex = reqs[order[start]].vertex
+        stop = start
+        while stop < len(order) and (
+            reqs[order[stop]].side is side
+            and reqs[order[stop]].vertex == vertex
+        ):
+            stop += 1
+        with trace.span("two_hop_extract"):
+            local = extract_local(graph, side, vertex, kernel)
+        _trace_twohop(trace, local)
+        group = order[start:stop]
+        answers = answer_group_local(
+            local,
+            [reqs[i] for i in group],
+            bounds=bounds,
+            kernel=kernel,
         )
-        if (request.side, request.vertex) != current:
-            trace = current_trace()
-            with trace.span("two_hop_extract"):
-                local = extract_local(
-                    graph, request.side, request.vertex, kernel
-                )
-            _trace_twohop(trace, local)
-            current = (request.side, request.vertex)
-        results[i] = pmbc_online_local(
+        for i, answer in zip(group, answers):
+            results[i] = answer
+        start = stop
+    return results
+
+
+def answer_group_local(
+    local: LocalGraph,
+    requests: list[QueryRequest],
+    bounds: CoreBounds | None = None,
+    kernel: str | None = None,
+) -> list[Biclique | None]:
+    """Answer requests sharing one extracted ``H_q`` (batch inner loop).
+
+    All requests must target the vertex ``local`` was extracted around.
+    Identical requests — same τ floors and objective — share a single
+    progressive search: the first occurrence runs it and duplicates
+    reuse its answer, tallied by the ``batch_dedup`` trace counter
+    (fires identically on every kernel).  Distinct requests still share
+    the extraction's packed view plus the memoized seeds and reduction
+    fixpoints of :mod:`repro.kernel.batch`.
+    """
+    answered: dict[tuple[int, int, str], Biclique | None] = {}
+    trace = current_trace()
+    results: list[Biclique | None] = []
+    for request in requests:
+        key = (request.tau_u, request.tau_l, request.objective)
+        if key in answered:
+            if trace.enabled:
+                trace.add("batch_dedup")
+            results.append(answered[key])
+            continue
+        answer = pmbc_online_local(
             local,
             request.tau_u,
             request.tau_l,
@@ -236,6 +283,8 @@ def pmbc_online_batch(
             kernel=kernel,
             objective=request.objective,
         )
+        answered[key] = answer
+        results.append(answer)
     return results
 
 
@@ -244,11 +293,12 @@ def extract_local(
 ) -> LocalGraph:
     """Extract ``H_q`` via the extractor matched to the compute kernel.
 
-    The bitset kernel uses the fused extractor (adjacency packed
-    straight into bitmasks, sets deferred); both extractors produce
-    interchangeable ``LocalGraph`` views of the same subgraph.
+    The packed kernels (``"bitset"``/``"words"``) use the fused
+    extractor (adjacency packed straight into bitmasks, sets deferred);
+    both extractors produce interchangeable ``LocalGraph`` views of the
+    same subgraph.
     """
-    if kernel == "bitset":
+    if is_packed_kernel(kernel):
         return two_hop_packed(graph, side, q)
     return two_hop_subgraph(graph, side, q)
 
@@ -309,8 +359,8 @@ def _seed_to_local(
         own_globals, other_globals = seed.upper, seed.lower
     else:
         own_globals, other_globals = seed.lower, seed.upper
-    upper_index = {g: i for i, g in enumerate(local.upper_globals)}
-    lower_index = {g: i for i, g in enumerate(local.lower_globals)}
+    upper_index = local.upper_index()
+    lower_index = local.lower_index()
     try:
         upper = frozenset(upper_index[g] for g in own_globals)
         lower = frozenset(lower_index[g] for g in other_globals)

@@ -5,6 +5,15 @@ bicliques containing ``v`` whose ``(|U|, |L|)`` shapes are mutually
 non-dominated (Definition 5).  During PMBC-IC*, a lookup before each
 PMBC-OL run supplies a lower-bound seed (Lemma 7); Lemma 8 bounds
 ``|S[v]| ≤ deg(v)``.
+
+Entries carry their shape alongside the id, so the per-node hot path of
+an index build — dominance maintenance on every insert, constraint
+filtering on every lookup — runs on plain ints and only dereferences
+the backing :class:`~repro.core.index.BicliqueArray` for the one
+biclique a lookup actually returns.  Scan order and tie-breaking
+(first strictly-greater edge count wins) are exactly those of the
+previous object-dereferencing implementation, so builds — and their
+serialized indexes — are unchanged byte for byte.
 """
 
 from __future__ import annotations
@@ -31,7 +40,9 @@ class SkylineIndex:
         locking: bool = False,
     ) -> None:
         self._array = array
-        self._entries: dict[Side, list[list[int]]] = {
+        #: Per-vertex skylines as ``(id, |U|, |L|)`` tuples — shapes are
+        #: denormalized so scans never touch the biclique objects.
+        self._entries: dict[Side, list[list[tuple[int, int, int]]]] = {
             side: [[] for __ in range(graph.num_vertices_on(side))]
             for side in Side
         }
@@ -39,26 +50,29 @@ class SkylineIndex:
 
     def entries(self, side: Side, v: int) -> list[int]:
         """The current skyline biclique ids of vertex ``v`` (a copy)."""
-        return list(self._entries[side][v])
+        return [entry[0] for entry in self._entries[side][v]]
 
     def lookup(
         self, side: Side, v: int, tau_u: int, tau_l: int
     ) -> Biclique | None:
         """The largest stored biclique containing ``v`` that satisfies
         the constraints — a valid lower-bound seed (Lemma 7)."""
-        best: Biclique | None = None
         if self._lock is not None:
             with self._lock:
-                ids = list(self._entries[side][v])
+                entries = list(self._entries[side][v])
         else:
-            ids = self._entries[side][v]
-        for biclique_id in ids:
-            candidate = self._array[biclique_id]
-            if not candidate.satisfies(tau_u, tau_l):
+            entries = self._entries[side][v]
+        best_id = -1
+        best_edges = -1
+        for biclique_id, num_u, num_l in entries:
+            if num_u < tau_u or num_l < tau_l:
                 continue
-            if best is None or candidate.num_edges > best.num_edges:
-                best = candidate
-        return best
+            if num_u * num_l > best_edges:
+                best_edges = num_u * num_l
+                best_id = biclique_id
+        if best_id < 0:
+            return None
+        return self._array[best_id]
 
     def update(self, biclique: Biclique, biclique_id: int) -> None:
         """Register a newly computed biclique with every vertex it contains.
@@ -74,22 +88,23 @@ class SkylineIndex:
             self._update(biclique, biclique_id)
 
     def _update(self, biclique: Biclique, biclique_id: int) -> None:
+        num_u, num_l = biclique.shape
         for side in Side:
             for v in biclique.vertices(side):
-                self._insert(side, v, biclique, biclique_id)
+                self._insert(side, v, biclique_id, num_u, num_l)
 
     def _insert(
-        self, side: Side, v: int, biclique: Biclique, biclique_id: int
+        self, side: Side, v: int, biclique_id: int, num_u: int, num_l: int
     ) -> None:
         entries = self._entries[side][v]
-        kept: list[int] = []
-        for existing_id in entries:
-            existing = self._array[existing_id]
-            if existing.dominates(biclique):
-                return  # the new shape adds nothing
-            if not biclique.dominates(existing):
-                kept.append(existing_id)
-        kept.append(biclique_id)
+        kept: list[tuple[int, int, int]] = []
+        for entry in entries:
+            __, ex_u, ex_l = entry
+            if ex_u >= num_u and ex_l >= num_l:
+                return  # an existing shape dominates: nothing to add
+            if not (num_u >= ex_u and num_l >= ex_l):
+                kept.append(entry)
+        kept.append((biclique_id, num_u, num_l))
         self._entries[side][v] = kept
 
     def max_entries(self) -> int:

@@ -53,6 +53,25 @@ class LocalGraph:
         self.lower_globals = lower_globals if lower_globals is not None else []
         self.upper_side = upper_side
         self.q_local = q_local
+        self._upper_index: dict[int, int] | None = None
+        self._lower_index: dict[int, int] | None = None
+
+    def upper_index(self) -> dict[int, int]:
+        """Memoized ``{global id -> local id}`` map for the upper layer.
+
+        The construction pipeline translates seeds and answers for every
+        tree node over the same extraction; memoizing the maps keeps the
+        translation cost amortized across a batch or a build.
+        """
+        if self._upper_index is None:
+            self._upper_index = {g: i for i, g in enumerate(self.upper_globals)}
+        return self._upper_index
+
+    def lower_index(self) -> dict[int, int]:
+        """Memoized ``{global id -> local id}`` map for the lower layer."""
+        if self._lower_index is None:
+            self._lower_index = {g: i for i, g in enumerate(self.lower_globals)}
+        return self._lower_index
 
     @property
     def adj_upper(self) -> list[set[int]]:

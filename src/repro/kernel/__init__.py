@@ -1,10 +1,10 @@
-"""The bitset compute kernel and kernel selection.
+"""The packed compute kernels and kernel selection.
 
 Every query surface (``pmbc_online``/``pmbc_online_star``, the caching
 engine, the serving layer, index construction) funnels into the same
-branch-and-bound over candidate vertex sets.  This package provides two
-interchangeable implementations of that hot path — *kernels* — plus the
-machinery to pick one:
+branch-and-bound over candidate vertex sets.  This package provides
+three interchangeable implementations of that hot path — *kernels* —
+plus the machinery to pick one:
 
 - ``"bitset"`` (the default) — candidate sets are Python ints used as
   packed bitmasks over degree-ordered local ids; intersections are
@@ -14,10 +14,16 @@ machinery to pick one:
   magnitude on medium subgraphs — the same packed-set trick BBK
   (Baudin et al., 2024) and Chen et al. (2020) credit for their
   constant factors, with zero new dependencies.
+- ``"words"`` — the bitset kernel with the mutation-heavy reduction
+  loops rewritten over ``array('Q')`` word arrays
+  (:mod:`repro.kernel.words`): alive flags and degree counters mutate
+  in place, so the one-hop peeling cascade never reallocates a big int.
+  The branch-and-bound and all scan-heavy passes are shared with
+  ``"bitset"``.
 - ``"set"`` — the original ``frozenset`` implementation, kept forever
   as the differential-testing reference.
 
-Both kernels explore the identical search tree (same candidate order,
+All kernels explore the identical search tree (same candidate order,
 same pruning decisions, same recorded answers and obs counters); see
 ``docs/kernel.md`` for the argument and ``tests/property`` for the
 machine-checked version.
@@ -40,10 +46,12 @@ from repro.kernel.packed import (
 
 __all__ = [
     "KERNEL_KINDS",
+    "PACKED_KERNELS",
     "DEFAULT_KERNEL",
     "default_kernel",
     "set_default_kernel",
     "resolve_kernel",
+    "is_packed_kernel",
     "PackedLocalGraph",
     "pack_local",
     "pack_count",
@@ -51,7 +59,12 @@ __all__ = [
 ]
 
 #: Valid ``kernel=`` selector values; CLI, config and env use these.
-KERNEL_KINDS = ("bitset", "set")
+KERNEL_KINDS = ("bitset", "set", "words")
+
+#: Kernels that run on the packed (mask-space) machinery.  They share
+#: the fused two-hop extractor, the packed view, the greedy seed and
+#: the branch-and-bound; they differ only in the reduction loops.
+PACKED_KERNELS = ("bitset", "words")
 
 #: The built-in default when nothing else selects a kernel.
 DEFAULT_KERNEL = "bitset"
@@ -100,3 +113,8 @@ def resolve_kernel(kernel: str | None = None) -> str:
     if kernel is None:
         return default_kernel()
     return _validate(kernel)
+
+
+def is_packed_kernel(kernel: str) -> bool:
+    """Whether a *resolved* kernel name runs on the packed machinery."""
+    return kernel in PACKED_KERNELS

@@ -1,7 +1,9 @@
-"""The bitset kernel's progressive-bounding loop (mask-space rounds).
+"""The packed kernels' progressive-bounding loop (mask-space rounds).
 
 :func:`repro.mbc.progressive.maximum_biclique_local` delegates here when
-the resolved kernel is ``"bitset"``.  The set kernel materializes a
+the resolved kernel is packed (``"bitset"`` or ``"words"`` — the latter
+swaps the reduction passes for the word-array peeling of
+:mod:`repro.kernel.words`).  The set kernel materializes a
 restricted :class:`~repro.graph.subgraph.LocalGraph` per round (Lemma 9
 z-prune, then the one-/two-hop reductions, each rebuilding adjacency
 sets); profiling showed those rebuilds — not the branch-and-bound — to
@@ -11,7 +13,9 @@ search tree.  This loop instead packs the extracted subgraph **once**
 round as alive-mask narrowing over that single packed view:
 
 - z-prune clears bits (:func:`repro.kernel.ops.z_alive_masks`);
-- reductions narrow the masks (:func:`repro.kernel.ops.reduce_alive`);
+- reductions narrow the masks (:func:`repro.kernel.ops.reduce_alive`,
+  memoized per extraction by :func:`repro.kernel.batch.cached_reduce`
+  so batched requests sharing ``H_q`` replay rounds for free);
 - the branch-and-bound starts from ``P = alive_upper`` with candidates
   drawn from ``alive_lower`` — adjacency intersections against ``P``
   induce the restricted graph for free.
@@ -28,8 +32,10 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.graph.subgraph import LocalGraph
+from repro.kernel import resolve_kernel
+from repro.kernel.batch import cached_reduce
 from repro.kernel.bitset import bitset_search
-from repro.kernel.ops import reduce_alive, z_alive_masks
+from repro.kernel.ops import z_alive_masks
 from repro.kernel.packed import iter_bits, pack_local
 from repro.mbc.branch_bound import (
     BranchBoundConfig,
@@ -69,6 +75,7 @@ def bitset_progressive(
     q_bit = packed.upper_rank[local.q_local] if anchored else None
     objective = get_objective(options.objective)
     bounds = options.bounds if objective.uses_size_bounds else None
+    kernel = resolve_kernel(options.kernel)
     trace = current_trace()
 
     while True:
@@ -95,13 +102,14 @@ def bitset_progressive(
                 trace.prune("core_z_bound", total - kept)
         if alive is not None:
             before = alive[0].bit_count() + alive[1].bit_count()
-            alive_u, alive_l = reduce_alive(
+            alive_u, alive_l = cached_reduce(
                 packed,
+                kernel,
                 tau_p_k,
                 tau_w_k,
                 alive[0],
                 alive[1],
-                use_two_hop=options.use_two_hop_reduction,
+                options.use_two_hop_reduction,
             )
             if trace.enabled:
                 trace.prune(

@@ -1,0 +1,165 @@
+"""The word-array kernel variant: in-place reductions on ``array('Q')``.
+
+The bitset kernel keeps every candidate set in one Python big int, which
+makes *scans* (intersection + popcount) fast but *mutations* expensive:
+``alive ^= low`` inside the one-hop sweep reallocates and copies the
+whole integer per cleared bit, so a reduction that peels hundreds of
+vertices from a wide mask pays quadratic copying.  The ``"words"``
+kernel (selected via ``kernel="words"`` on any query/build API) replaces
+exactly those mutation-heavy loops:
+
+- alive flags live in an ``array('Q')`` of 64-bit words mutated in
+  place (clearing a bit touches one word, never the whole mask);
+- alive degrees live in a parallel ``array('q')`` counter per vertex,
+  maintained incrementally — the one-hop fixpoint becomes the classic
+  peeling cascade (cost proportional to edges incident to *dead*
+  vertices) instead of repeated whole-mask sweeps.
+
+Everything scan-heavy is shared with the bitset kernel unchanged: the
+fused two-hop extractor, the packed view, the greedy seed, the two-hop
+(wedge) pass and the branch-and-bound all operate on int masks, and the
+word arrays convert to/from ints at the pass boundary via
+``int.to_bytes``/``int.from_bytes`` (single C-level copies).
+
+Parity is load-bearing, exactly as for the bitset kernel: the one-hop
+fixpoint is the unique greatest fixpoint, so the peeling cascade and the
+bitset sweep cannot disagree, and the surrounding pass structure of
+:func:`reduce_alive_words` mirrors :func:`repro.kernel.ops.reduce_alive`
+decision for decision (same wedge-budget estimate on the entry masks,
+same pass order).  The differential suite asserts identical answers,
+trace counters and serialized indexes across all three kernels.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.kernel.ops import two_hop_alive
+from repro.kernel.packed import PackedLocalGraph, iter_bits
+
+__all__ = ["one_hop_alive_words", "reduce_alive_words"]
+
+
+def _to_words(mask: int, num_bits: int) -> array:
+    """Pack an int mask into a little-endian ``array('Q')``."""
+    num_bytes = ((num_bits + 63) >> 6) << 3
+    words = array("Q")
+    words.frombytes(mask.to_bytes(num_bytes or 8, "little"))
+    return words
+
+
+def _to_mask(words: array) -> int:
+    """The int mask of a word array."""
+    return int.from_bytes(words.tobytes(), "little")
+
+
+def one_hop_alive_words(
+    packed: PackedLocalGraph,
+    tau_p: int,
+    tau_w: int,
+    alive_u: int,
+    alive_l: int,
+) -> tuple[int, int]:
+    """The (tau_w, tau_p)-core fixpoint via word-array peeling.
+
+    Computes the same unique greatest fixpoint as
+    :func:`repro.kernel.ops.one_hop_alive`, but by incremental degree
+    peeling: each vertex carries an alive-degree counter, deaths push
+    onto a stack, and a death decrements its neighbors' counters —
+    alive flags and counters mutate in place, so no pass ever copies a
+    whole mask.
+    """
+    adj_upper = packed.adj_upper
+    adj_lower = packed.adj_lower
+    words_u = _to_words(alive_u, packed.num_upper)
+    words_l = _to_words(alive_l, packed.num_lower)
+    if alive_u == packed.all_upper and alive_l == packed.all_lower:
+        deg_u = array("q", packed.deg_upper)
+        deg_l = array("q", packed.deg_lower)
+    else:
+        deg_u = array("q", bytes(8 * max(1, packed.num_upper)))
+        for b in iter_bits(alive_u):
+            deg_u[b] = (adj_upper[b] & alive_l).bit_count()
+        deg_l = array("q", bytes(8 * max(1, packed.num_lower)))
+        for b in iter_bits(alive_l):
+            deg_l[b] = (adj_lower[b] & alive_u).bit_count()
+
+    # Seed the cascade with every under-floor vertex, then peel: the
+    # stack order is irrelevant because the greatest fixpoint is unique.
+    stack: list[int] = []
+    for b in iter_bits(alive_u):
+        if deg_u[b] < tau_w:
+            words_u[b >> 6] &= ~(1 << (b & 63))
+            stack.append(b << 1)
+    for b in iter_bits(alive_l):
+        if deg_l[b] < tau_p:
+            words_l[b >> 6] &= ~(1 << (b & 63))
+            stack.append((b << 1) | 1)
+    while stack:
+        tagged = stack.pop()
+        b = tagged >> 1
+        if tagged & 1:  # a lower vertex died: relax its upper neighbors
+            for u in iter_bits(adj_lower[b]):
+                if (words_u[u >> 6] >> (u & 63)) & 1:
+                    deg_u[u] -= 1
+                    if deg_u[u] < tau_w:
+                        words_u[u >> 6] &= ~(1 << (u & 63))
+                        stack.append(u << 1)
+        else:
+            for v in iter_bits(adj_upper[b]):
+                if (words_l[v >> 6] >> (v & 63)) & 1:
+                    deg_l[v] -= 1
+                    if deg_l[v] < tau_p:
+                        words_l[v >> 6] &= ~(1 << (v & 63))
+                        stack.append((v << 1) | 1)
+    return _to_mask(words_u), _to_mask(words_l)
+
+
+def reduce_alive_words(
+    packed: PackedLocalGraph,
+    tau_p: int,
+    tau_w: int,
+    alive_u: int,
+    alive_l: int,
+    use_two_hop: bool = True,
+    wedge_budget: int | None = None,
+) -> tuple[int, int]:
+    """The words-kernel :func:`repro.kernel.ops.reduce_alive`.
+
+    Identical pass structure — one-hop fixpoint, wedge estimate against
+    the entry masks, at most one two-hop pass per side, one-hop fixpoint
+    again if anything died — with the one-hop passes running on word
+    arrays.  The two-hop pass is scan-dominated, so it stays on int
+    masks (shared with the bitset kernel), keeping its mid-pass kill
+    order — and therefore the survivor set — bit-for-bit identical.
+    """
+    if wedge_budget is None:
+        from repro.mbc.reductions import DEFAULT_WEDGE_BUDGET
+
+        wedge_budget = DEFAULT_WEDGE_BUDGET
+    entry_u, entry_l = alive_u, alive_l
+    adj_upper = packed.adj_upper
+    adj_lower = packed.adj_lower
+    alive_u, alive_l = one_hop_alive_words(
+        packed, tau_p, tau_w, alive_u, alive_l
+    )
+    if use_two_hop:
+        wedges = sum(
+            (adj_lower[b] & entry_u).bit_count() ** 2
+            for b in iter_bits(alive_l)
+        ) + sum(
+            (adj_upper[b] & entry_l).bit_count() ** 2
+            for b in iter_bits(alive_u)
+        )
+        if wedges <= wedge_budget:
+            alive_u, changed_u = two_hop_alive(
+                adj_upper, packed.upper_order, alive_u, alive_l, tau_p, tau_w
+            )
+            alive_l, changed_l = two_hop_alive(
+                adj_lower, packed.lower_order, alive_l, alive_u, tau_w, tau_p
+            )
+            if changed_u or changed_l:
+                alive_u, alive_l = one_hop_alive_words(
+                    packed, tau_p, tau_w, alive_u, alive_l
+                )
+    return alive_u, alive_l

@@ -7,18 +7,22 @@ two-hop subgraph the anchor is adjacent to every local lower vertex, so
 ``({q}, L(H_q))`` is already a biclique and the greedy phase only needs
 to trade lower vertices for additional upper vertices.
 
-Both compute kernels (see :mod:`repro.kernel`) grow the seed over the
+Every compute kernel (see :mod:`repro.kernel`) grows the seed over the
 same defined candidate order — stable degree-descending, ties by
 ascending local id — so they pick identical vertices on ties and return
 identical seeds; that order is exactly the packed bit order of
-:func:`repro.kernel.pack_local`, which lets the bitset variant scan
-candidate masks in ascending bit order.
+:func:`repro.kernel.pack_local`, which lets the packed variant scan
+candidate masks in ascending bit order.  Because the seed is
+kernel-independent it is memoized per extraction
+(:func:`repro.kernel.batch.cached_seed`), so batched requests and index
+builds that revisit a floor pair pay the greedy cost once.
 """
 
 from __future__ import annotations
 
 from repro.graph.subgraph import LocalGraph
-from repro.kernel import resolve_kernel
+from repro.kernel import is_packed_kernel, resolve_kernel
+from repro.kernel.batch import cached_seed
 from repro.kernel.packed import pack_local
 
 
@@ -40,9 +44,17 @@ def greedy_biclique(
     """
     if local.num_upper == 0 or local.num_lower == 0:
         return None
-    if resolve_kernel(kernel) == "bitset":
-        return _greedy_bitset(local, tau_p, tau_w)
-    return _greedy_set(local, tau_p, tau_w)
+    # The seed is a pure function of (local, tau_p, tau_w) — identical
+    # across kernels — so it is memoized on the extraction: batched
+    # requests sharing H_q and repeated floor pairs inside one index
+    # build grow it once (see repro.kernel.batch).
+    if is_packed_kernel(resolve_kernel(kernel)):
+        return cached_seed(
+            local, tau_p, tau_w, lambda: _greedy_bitset(local, tau_p, tau_w)
+        )
+    return cached_seed(
+        local, tau_p, tau_w, lambda: _greedy_set(local, tau_p, tau_w)
+    )
 
 
 def _greedy_set(

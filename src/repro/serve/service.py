@@ -67,6 +67,7 @@ from repro.exec.executor import (
 )
 from repro.exec.tasks import WorkerState
 from repro.graph.bipartite import BipartiteGraph, Side
+from repro.kernel import KERNEL_KINDS
 from repro.objectives import get_objective, objective_kinds
 from repro.obs.metrics_bridge import publish_trace, register_search_metrics
 from repro.obs.ring import TraceRing
@@ -141,6 +142,11 @@ class ServiceConfig:
         none; ``None`` disables the default (requests wait forever).
     cache_size:
         LRU capacity of the shared :class:`PMBCQueryEngine`.
+    kernel:
+        Compute kernel (``"bitset"``/``"set"``/``"words"``) for every
+        search the service runs — the shared engine, the process-pool
+        workers and the adaptive builder all inherit it.  ``None``
+        defers to :func:`repro.kernel.default_kernel`.
     use_core_bounds:
         Precompute (α,β)-core bounds for the engine/online fallbacks
         (PMBC-OL* mode).  Disable for faster startup on huge graphs.
@@ -179,6 +185,7 @@ class ServiceConfig:
     max_queue: int = 64
     default_deadline: float | None = 30.0
     cache_size: int = 256
+    kernel: str | None = None
     use_core_bounds: bool = True
     execution: str = "thread"
     exec_workers: int | None = None
@@ -201,6 +208,10 @@ class ServiceConfig:
         if self.default_deadline is not None and self.default_deadline <= 0:
             raise ValueError(
                 f"default_deadline must be positive, got {self.default_deadline}"
+            )
+        if self.kernel is not None and self.kernel not in KERNEL_KINDS:
+            raise ValueError(
+                f"kernel must be one of {KERNEL_KINDS}, got {self.kernel!r}"
             )
         if self.execution not in EXECUTION_KINDS:
             raise ValueError(
@@ -421,12 +432,15 @@ class _OnlineBackend:
 
     name = "online"
 
-    def __init__(self, graph: BipartiteGraph, bounds=None) -> None:
+    def __init__(self, graph: BipartiteGraph, bounds=None, kernel=None) -> None:
         self._graph = graph
         self._bounds = bounds
+        self._kernel = kernel
 
     def query(self, request: QueryRequest) -> Biclique | None:
-        return pmbc_online_star(self._graph, request, bounds=self._bounds)
+        return pmbc_online_star(
+            self._graph, request, bounds=self._bounds, kernel=self._kernel
+        )
 
     def query_batch(self, requests) -> list[Biclique | None]:
         from repro.core.online import pmbc_online_batch
@@ -436,6 +450,7 @@ class _OnlineBackend:
             requests,
             bounds=self._bounds,
             use_core_bounds=self._bounds is not None,
+            kernel=self._kernel,
         )
 
 
@@ -475,6 +490,7 @@ class PMBCService:
             graph,
             use_core_bounds=self.config.use_core_bounds,
             cache_size=self.config.cache_size,
+            kernel=self.config.kernel,
         )
         exec_workers = self.config.exec_workers or self.config.num_workers
         if self.config.execution == "process":
@@ -486,6 +502,7 @@ class PMBCService:
                 num_workers=exec_workers,
                 cache_size=self.config.cache_size,
                 metrics=self.metrics,
+                kernel=self.engine.kernel,
             )
         else:
             # Thread execution runs in the serving worker threads
@@ -498,6 +515,7 @@ class PMBCService:
                     graph=graph,
                     bounds=self.engine.bounds,
                     cache_size=self.config.cache_size,
+                    kernel=self.engine.kernel,
                     _engine=self.engine,
                 ),
             )
@@ -510,7 +528,9 @@ class PMBCService:
             # case the pool breaks mid-flight.
             self._backends.append(_EngineBackend(self.engine))
         self._backends.append(
-            _OnlineBackend(graph, bounds=self.engine.bounds)
+            _OnlineBackend(
+                graph, bounds=self.engine.bounds, kernel=self.engine.kernel
+            )
         )
 
         self._prebuilt_coverage: dict | None = None
@@ -1381,6 +1401,7 @@ class PMBCService:
                 "capacity": self.config.max_queue,
             },
             "backends": list(self.backend_names),
+            "kernel": self.engine.kernel,
             "execution": {
                 "kind": self._executor.kind,
                 "workers": self._executor.num_workers,

@@ -11,8 +11,11 @@ from repro.core import (
     pmbc_index_topk,
     pmbc_online,
 )
+from repro.core.online import pmbc_online_batch
+from repro.core.query import QueryRequest
 from repro.graph.bipartite import Side
 from repro.graph.generators import random_bipartite
+from repro.obs import SearchTrace, use_trace
 
 
 # ----------------------------------------------------------------------
@@ -183,3 +186,65 @@ def test_engine_thread_safe_under_concurrent_queries(paper_graph):
     stats = engine.cache_stats()
     assert stats.size <= 3
     assert stats.hits + stats.misses == 8 * 5 * len(expected)
+
+
+# ----------------------------------------------------------------------
+# batch deduplication (shared packed search per distinct request)
+# ----------------------------------------------------------------------
+def _batch_trace(fn, *args, **kwargs):
+    trace = SearchTrace()
+    with use_trace(trace):
+        results = fn(*args, **kwargs)
+    return results, trace
+
+
+def test_engine_batch_dedups_identical_requests(paper_graph):
+    """Two identical requests in one batch share a single packed search.
+
+    The node-count telemetry proves it: a batch with duplicates runs
+    exactly the searches of its deduplicated request set, and every
+    skipped duplicate is tallied by the ``batch_dedup`` counter.
+    """
+    request = QueryRequest(Side.UPPER, 0, 2, 2)
+    reference, single = _batch_trace(
+        PMBCQueryEngine(paper_graph).query_batch, [request]
+    )
+    results, trace = _batch_trace(
+        PMBCQueryEngine(paper_graph).query_batch, [request, request, request]
+    )
+    assert [r.shape for r in results] == [reference[0].shape] * 3
+    assert trace.counters["batch_dedup"] == 2
+    assert trace.counters.get("bb_calls", 0) == single.counters.get("bb_calls", 0)
+    assert trace.counters.get("bb_nodes", 0) == single.counters.get("bb_nodes", 0)
+    assert (
+        trace.counters["progressive_rounds"]
+        == single.counters["progressive_rounds"]
+    )
+
+
+def test_engine_batch_dedup_keeps_distinct_requests_apart(paper_graph):
+    """Requests differing in τ or objective never share an answer slot."""
+    a = QueryRequest(Side.UPPER, 0, 1, 1)
+    b = QueryRequest(Side.UPPER, 0, 2, 4)
+    c = QueryRequest(Side.UPPER, 0, 1, 1, objective="balanced")
+    engine = PMBCQueryEngine(paper_graph)
+    results, trace = _batch_trace(engine.query_batch, [a, b, a, c, b])
+    assert trace.counters["batch_dedup"] == 2
+    for request, got in zip([a, b, a, c, b], results):
+        want = engine.query(request)
+        assert (got.shape if got else None) == (want.shape if want else None)
+
+
+def test_online_batch_dedups_identical_requests(paper_graph):
+    """pmbc_online_batch shares one search across duplicate requests."""
+    request = QueryRequest(Side.LOWER, 1, 2, 2)
+    __, single = _batch_trace(
+        pmbc_online_batch, paper_graph, [request]
+    )
+    results, trace = _batch_trace(
+        pmbc_online_batch, paper_graph, [request, request]
+    )
+    assert trace.counters["batch_dedup"] == 1
+    assert trace.counters.get("bb_calls", 0) == single.counters.get("bb_calls", 0)
+    assert trace.counters.get("bb_nodes", 0) == single.counters.get("bb_nodes", 0)
+    assert results[0] == results[1]

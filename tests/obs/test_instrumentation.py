@@ -131,34 +131,38 @@ def test_index_query_counts_tree_visits(paper_graph):
 # cross-kernel parity
 
 
+KERNELS = ("set", "bitset", "words")
+
+
 @pytest.mark.parametrize("query", [(Side.UPPER, 0), (Side.LOWER, 3)])
 def test_kernels_count_identical_events(skewed_graph, query):
-    """Both compute kernels flush identical counters and prune tallies.
+    """All compute kernels flush identical counters and prune tallies.
 
-    The bitset kernel must be observationally equivalent, not just
+    The packed kernels must be observationally equivalent, not just
     answer-equivalent: ``bb_nodes``, the prune counters behind
     ``pmbc_prune_total{rule=...}``, and the per-round records must all
     match the set kernel event for event.
     """
     side, q = query
     per_kernel = {}
-    for kernel in ("set", "bitset"):
+    for kernel in KERNELS:
         answer, trace = _traced(
             pmbc_online, skewed_graph, side, q, 2, 2, kernel=kernel
         )
         per_kernel[kernel] = (answer, trace)
     set_answer, set_trace = per_kernel["set"]
-    bit_answer, bit_trace = per_kernel["bitset"]
-    assert _same_answer(set_answer, bit_answer)
-    assert set_trace.counters == bit_trace.counters
-    assert set_trace.prunes == bit_trace.prunes
-    assert set_trace.rounds == bit_trace.rounds
+    for kernel in KERNELS[1:]:
+        answer, trace = per_kernel[kernel]
+        assert _same_answer(set_answer, answer), kernel
+        assert set_trace.counters == trace.counters, kernel
+        assert set_trace.prunes == trace.prunes, kernel
+        assert set_trace.rounds == trace.rounds, kernel
 
 
 def test_kernels_count_identical_events_with_bounds(medium_planted_graph):
     """Counter parity holds on the PMBC-OL* path (z-bound prunes live)."""
     per_kernel = {}
-    for kernel in ("set", "bitset"):
+    for kernel in KERNELS:
         answer, trace = _traced(
             pmbc_online_star,
             medium_planted_graph,
@@ -170,8 +174,9 @@ def test_kernels_count_identical_events_with_bounds(medium_planted_graph):
         )
         per_kernel[kernel] = (answer, trace)
     set_answer, set_trace = per_kernel["set"]
-    bit_answer, bit_trace = per_kernel["bitset"]
-    assert _same_answer(set_answer, bit_answer)
-    assert set_trace.counters == bit_trace.counters
-    assert set_trace.prunes == bit_trace.prunes
-    assert set_trace.rounds == bit_trace.rounds
+    for kernel in KERNELS[1:]:
+        answer, trace = per_kernel[kernel]
+        assert _same_answer(set_answer, answer), kernel
+        assert set_trace.counters == trace.counters, kernel
+        assert set_trace.prunes == trace.prunes, kernel
+        assert set_trace.rounds == trace.rounds, kernel

@@ -51,7 +51,7 @@ def _check_balanced_answer(graph, side, q, tau_u, tau_l, got, expected):
 
 @pytest.mark.parametrize("name,graph", GRAPHS, ids=[n for n, _ in GRAPHS])
 @pytest.mark.parametrize("tau", [(1, 1), (2, 2), (3, 2)])
-@pytest.mark.parametrize("kernel", ["set", "bitset"])
+@pytest.mark.parametrize("kernel", ["set", "bitset", "words"])
 def test_balanced_objective_matches_reference(name, graph, tau, kernel):
     tau_u, tau_l = tau
     for side, q in _queries(graph):
@@ -78,7 +78,7 @@ def test_balanced_star_path_matches_reference(name, graph):
 
 @pytest.mark.parametrize("name,graph", GRAPHS, ids=[n for n, _ in GRAPHS])
 def test_balanced_kernels_agree_exactly(name, graph):
-    """Set and bitset kernels return identical balanced vertex sets."""
+    """All kernels return identical balanced vertex sets."""
     for side, q in _queries(graph):
         for tau in (1, 2):
             got = {
@@ -86,9 +86,11 @@ def test_balanced_kernels_agree_exactly(name, graph):
                     graph, side, q, tau, tau,
                     kernel=kernel, objective="balanced",
                 )
-                for kernel in ("set", "bitset")
+                for kernel in ("set", "bitset", "words")
             }
-            assert got["set"] == got["bitset"], (name, side, q, tau)
+            assert got["set"] == got["bitset"] == got["words"], (
+                name, side, q, tau,
+            )
 
 
 @pytest.mark.parametrize("name,graph", GRAPHS, ids=[n for n, _ in GRAPHS])
