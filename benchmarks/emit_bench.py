@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Emit benchmark snapshots: kernel latency and adaptive serve throughput.
 
-Two suites, selected with ``--suite {kernel,serve,all}``:
+Three suites, selected with ``--suite {kernel,serve,load,all}``:
 
 **kernel** (default) emits ``BENCH_kernel.json``, a kernel latency
 snapshot covering all three compute kernels (``set``, ``bitset``,
@@ -17,6 +17,18 @@ answering backend mix, and the head-query speedup of the warmed
 partial-index tier over the cold path.  ``--smoke`` gates on: the
 builder drained, the adaptive tier answered (hits > 0), resident bytes
 never exceeded the budget, and warm head p50 strictly below cold p50.
+
+**load** merges a ``"load"`` section into ``BENCH_serve.json``: the
+open-loop harness (:mod:`loadgen`) hunts the maximum sustainable
+arrival rate under a p99 latency SLO for two HTTP stacks serving the
+same Zipf stream — the single-process baseline (one
+:class:`~repro.serve.PMBCService` behind the blocking threaded
+front-end) and the sharded stack (a :class:`repro.shard.ShardedService`
+behind the asyncio front-end) with the same total worker count.
+``--smoke`` gates on the sharded async stack sustaining at least the
+baseline's rate (the CI load-smoke gate).  The section is merged, not
+overwritten: serve-suite results already in the file are preserved,
+and vice versa.
 
 Runs the Figure 6 / Figure 7 query workloads (same datasets, query
 pools and τ settings as ``test_fig6_query_time.py`` and
@@ -78,6 +90,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 from repro.bench.workloads import top_degree_queries, zipf_queries  # noqa: E402
 from repro.core.online import pmbc_online, pmbc_online_batch  # noqa: E402
@@ -117,6 +130,20 @@ SERVE_EXPONENT = 1.2
 SERVE_TAU = 2
 SERVE_BUDGET_MB = 16.0
 SERVE_HOT_THRESHOLD = 2.0
+
+#: Load-suite workload: open-loop Zipf arrivals against two HTTP
+#: stacks on a fig6-medium dataset.  Worker threads are split across
+#: shards so both stacks field the same total compute.
+LOAD_DATASET = "Amazon"
+LOAD_STREAM = 512
+LOAD_EXPONENT = 1.2
+LOAD_TAU = 2
+LOAD_SLO_MS = 250.0
+LOAD_SHARDS = 2
+LOAD_WORKERS = 4
+LOAD_CACHE = 64
+LOAD_DEADLINE = 1.0
+LOAD_START_QPS = 32.0
 
 
 def size_class(num_edges: int) -> str:
@@ -430,6 +457,143 @@ def bench_serve(smoke: bool) -> tuple[dict, list[str]]:
     return body, failures
 
 
+def bench_load(smoke: bool) -> tuple[dict, list[str]]:
+    """Open-loop rate hunt for both HTTP stacks; ``(body, failures)``.
+
+    Drives the same repeating Zipf request stream at fixed arrival
+    rates (latency measured from each request's *scheduled* arrival,
+    so queue build-up counts — no coordinated omission) and bisects
+    for the max rate whose p99 stays under :data:`LOAD_SLO_MS` with at
+    most ~1% rejects/deadline-misses/errors.  The single-process
+    baseline runs behind the blocking threaded front-end; the sharded
+    stack behind the asyncio front-end with the same total workers.
+    """
+    from loadgen import (
+        HTTPTarget,
+        ResourceCaps,
+        find_max_sustainable,
+        zipf_request_stream,
+    )
+    from repro.serve import (
+        AsyncPMBCServer,
+        PMBCServer,
+        PMBCService,
+        ServiceConfig,
+    )
+    from repro.shard import ShardedService
+
+    graph = load_dataset(LOAD_DATASET)
+    requests = zipf_request_stream(
+        graph, LOAD_STREAM, LOAD_TAU, LOAD_EXPONENT, WORKLOAD_SEED
+    )
+    duration = 1.0 if smoke else 2.0
+    refine = 1 if smoke else 2
+    wall_cap = 45.0 if smoke else 180.0
+
+    def measure(label: str, server) -> dict:
+        target = HTTPTarget(server.url, deadline=LOAD_DEADLINE)
+        best, runs, notes = find_max_sustainable(
+            target,
+            requests,
+            start_qps=LOAD_START_QPS,
+            duration=duration,
+            slo_ms=LOAD_SLO_MS,
+            refine_steps=refine,
+            caps=ResourceCaps(wall_seconds=wall_cap),
+            log=lambda msg: print(f"[{label}]{msg}", flush=True),
+        )
+        return {
+            "max_sustainable_qps": round(best.offered_qps, 2)
+            if best
+            else None,
+            "best": best.to_json() if best else None,
+            "rates": [r.to_json() for r in runs],
+            "notes": notes,
+        }
+
+    single_config = ServiceConfig(
+        num_workers=LOAD_WORKERS,
+        max_queue=LOAD_STREAM,
+        cache_size=LOAD_CACHE,
+        default_deadline=LOAD_DEADLINE,
+    )
+    single = PMBCService(graph, config=single_config)
+    single.start()
+    server = PMBCServer(single, port=0)
+    server.start()
+    try:
+        single_report = measure("single  ", server)
+    finally:
+        server.shutdown()
+
+    shard_config = ServiceConfig(
+        num_workers=max(1, LOAD_WORKERS // LOAD_SHARDS),
+        max_queue=max(64, LOAD_STREAM // LOAD_SHARDS),
+        cache_size=LOAD_CACHE,
+        default_deadline=LOAD_DEADLINE,
+    )
+    sharded = ShardedService(graph, LOAD_SHARDS, config=shard_config)
+    sharded.start()
+    aserver = AsyncPMBCServer(sharded, port=0)
+    aserver.start()
+    try:
+        sharded_report = measure(f"sharded{LOAD_SHARDS}", aserver)
+    finally:
+        aserver.shutdown()
+
+    single_qps = single_report["max_sustainable_qps"]
+    sharded_qps = sharded_report["max_sustainable_qps"]
+    failures: list[str] = []
+    if single_qps is None:
+        failures.append("single-process stack found no sustainable rate")
+    if sharded_qps is None:
+        failures.append("sharded async stack found no sustainable rate")
+    elif single_qps is not None and sharded_qps < single_qps:
+        failures.append(
+            f"sharded async stack ({sharded_qps:g} qps) below the "
+            f"single-process baseline ({single_qps:g} qps)"
+        )
+    summary = {
+        "slo_p99_ms": LOAD_SLO_MS,
+        "single_qps": single_qps,
+        "sharded_qps": sharded_qps,
+        "speedup": round(sharded_qps / single_qps, 3)
+        if single_qps and sharded_qps
+        else None,
+    }
+    body = {
+        "workload": {
+            "dataset": LOAD_DATASET,
+            "stream": LOAD_STREAM,
+            "exponent": LOAD_EXPONENT,
+            "tau": LOAD_TAU,
+            "seed": WORKLOAD_SEED,
+            "slo_p99_ms": LOAD_SLO_MS,
+            "deadline_seconds": LOAD_DEADLINE,
+            "run_duration_seconds": duration,
+            "timing": "open-loop, latency from scheduled arrival",
+        },
+        "configs": {
+            "single": {
+                "front_end": "threaded",
+                "shards": 1,
+                "workers": LOAD_WORKERS,
+                "cache_size": LOAD_CACHE,
+                **single_report,
+            },
+            "sharded": {
+                "front_end": "asyncio",
+                "shards": LOAD_SHARDS,
+                "workers_per_shard": max(1, LOAD_WORKERS // LOAD_SHARDS),
+                "cache_size_per_shard": LOAD_CACHE,
+                **sharded_report,
+            },
+        },
+        "summary": summary,
+    }
+    return body, failures
+
+
 def git_commit() -> str:
     """``HEAD`` hash, with ``-dirty`` when the working tree has changes."""
     try:
@@ -456,7 +620,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--suite",
-        choices=("kernel", "serve", "all"),
+        choices=("kernel", "serve", "load", "all"),
         default="kernel",
         help="which benchmark suite(s) to run (default: kernel)",
     )
@@ -495,12 +659,68 @@ def main(argv=None) -> int:
         status = run_kernel_suite(args) or status
     if args.suite in ("serve", "all"):
         status = run_serve_suite(args) or status
+    if args.suite in ("load", "all"):
+        status = run_load_suite(args) or status
     return status
+
+
+def _merge_serve_snapshot(path: Path, section: str, body: dict) -> dict:
+    """Merge one suite's ``section`` into the snapshot at ``path``.
+
+    ``BENCH_serve.json`` is shared by the serve and load suites; each
+    run refreshes its own section plus the commit/machine stamps and
+    leaves the other suite's results in place.
+    """
+    try:
+        snapshot = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError, ValueError):
+        snapshot = {}
+    snapshot.update(
+        schema=1,
+        suite="serve",
+        commit=git_commit(),
+        created_unix=int(time.time()),
+        machine={
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+    )
+    snapshot[section] = body
+    path.write_text(json.dumps(snapshot, indent=2) + "\n")
+    return snapshot
+
+
+def run_load_suite(args) -> int:
+    """Run the open-loop load benchmark; merge into ``BENCH_serve.json``."""
+    body, failures = bench_load(args.smoke)
+    _merge_serve_snapshot(args.serve_out, "load", body)
+    summary = body["summary"]
+    print(
+        f"load {LOAD_DATASET}: single {summary['single_qps'] or '?'} qps "
+        f"vs sharded x{LOAD_SHARDS} {summary['sharded_qps'] or '?'} qps "
+        f"(x{summary['speedup'] or '?'}) under p99<={LOAD_SLO_MS:g}ms",
+        flush=True,
+    )
+    print(f"wrote {args.serve_out}")
+    if args.smoke:
+        if failures:
+            for failure in failures:
+                print(f"SMOKE FAIL (load): {failure}", file=sys.stderr)
+            return 1
+        print(
+            "smoke ok: sharded async stack sustains at least the "
+            "single-process baseline"
+        )
+    return 0
 
 
 def run_serve_suite(args) -> int:
     """Run the adaptive serve benchmark and write ``BENCH_serve.json``."""
     body, failures = bench_serve(args.smoke)
+    try:
+        previous = json.loads(args.serve_out.read_text())
+    except (OSError, json.JSONDecodeError, ValueError):
+        previous = {}
     snapshot = {
         "schema": 1,
         "suite": "serve",
@@ -512,6 +732,8 @@ def run_serve_suite(args) -> int:
         },
         **body,
     }
+    if "load" in previous:
+        snapshot["load"] = previous["load"]
     args.serve_out.write_text(json.dumps(snapshot, indent=2) + "\n")
     summary = body["summary"]
     print(

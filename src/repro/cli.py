@@ -17,9 +17,11 @@ Subcommands:
 - ``pmbc stats <edges-file>`` — graph and index statistics;
 - ``pmbc datasets`` — list the built-in dataset zoo;
 - ``pmbc serve <edges-file> [--index index.bin] [--execution
-  thread|process]`` — run the HTTP query-serving front-end (see
-  :mod:`repro.serve`, :mod:`repro.exec`, docs/serving.md and
-  docs/execution.md).
+  thread|process] [--shards N]`` — run the HTTP query-serving
+  front-end; ``--shards N`` (N >= 2) partitions the vertex space
+  across N shard services behind the asyncio front-end (see
+  :mod:`repro.serve`, :mod:`repro.shard`, :mod:`repro.exec`,
+  docs/serving.md, docs/sharding.md and docs/execution.md).
 """
 
 from __future__ import annotations
@@ -386,10 +388,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the HTTP query-serving front-end (repro.serve)."""
-    from repro.serve import PMBCServer, PMBCService, ServiceConfig
+    from repro.serve import (
+        AsyncPMBCServer,
+        PMBCServer,
+        PMBCService,
+        ServiceConfig,
+    )
 
     graph = _load_graph(args.graph, args.konect)
     index = _load_index(args.index) if args.index else None
+    if args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
     config = ServiceConfig(
         num_workers=args.workers,
         max_queue=args.queue_size,
@@ -404,40 +414,65 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         hot_threshold=args.hot_threshold,
         adaptive_persist_path=args.adaptive_persist,
     )
-    service = PMBCService(graph, index=index, config=config).start()
-    server = PMBCServer(
-        service, host=args.host, port=args.port, verbose=args.verbose
-    )
-    chain = " -> ".join(service.backend_names)
-    stats = service.stats()
-    execution = stats["execution"]
-    print(
-        f"pmbc serve: |U|={graph.num_upper} |L|={graph.num_lower} "
-        f"|E|={graph.num_edges}, backends: {chain}, "
-        f"kernel: {stats['kernel']}, "
-        f"execution: {execution['kind']} x{execution['workers']}",
-        flush=True,
-    )
-    coverage = service.index_coverage()
-    prebuilt = coverage["prebuilt"]
-    if prebuilt is not None:
+    if args.shards > 1:
+        # Sharded mode: N shard services behind the asyncio front-end.
+        # Config knobs (workers, budget) are per shard; the adaptive
+        # byte budget is divided across shards by the router.
+        from repro.shard import ShardedService
+
+        service = ShardedService(
+            graph, args.shards, index=index, config=config
+        ).start()
+        server = AsyncPMBCServer(
+            service, host=args.host, port=args.port, verbose=args.verbose
+        ).start()
+        shard0 = service.shards[0].service
+        chain = " -> ".join(service.backend_names)
+        spans = service.shard_map.spans()
         print(
-            f"index coverage: {prebuilt['fraction']:.1%} of "
-            f"{coverage['total_vertices']} vertices prebuilt "
-            f"({prebuilt['bytes']:,} bytes)",
+            f"pmbc serve: |U|={graph.num_upper} |L|={graph.num_lower} "
+            f"|E|={graph.num_edges}, backends: {chain}, "
+            f"kernel: {shard0.engine.kernel}, "
+            f"shards: {args.shards} x ({config.execution} "
+            f"x{config.exec_workers or config.num_workers}), "
+            f"spans: {spans}",
             flush=True,
         )
-    if args.adaptive:
-        adaptive_cov = coverage["adaptive"]
-        warmed = service.stats()["adaptive"]["warm_restored"]
+    else:
+        service = PMBCService(graph, index=index, config=config).start()
+        server = PMBCServer(
+            service, host=args.host, port=args.port, verbose=args.verbose
+        )
+        chain = " -> ".join(service.backend_names)
+        stats = service.stats()
+        execution = stats["execution"]
         print(
-            f"adaptive tier: budget {args.index_budget_mb:g} MiB, "
-            f"hot threshold {args.hot_threshold:g}, "
-            f"{adaptive_cov['vertices']} trees warm "
-            f"({warmed} restored from "
-            f"{args.adaptive_persist or 'nothing'})",
+            f"pmbc serve: |U|={graph.num_upper} |L|={graph.num_lower} "
+            f"|E|={graph.num_edges}, backends: {chain}, "
+            f"kernel: {stats['kernel']}, "
+            f"execution: {execution['kind']} x{execution['workers']}",
             flush=True,
         )
+        coverage = service.index_coverage()
+        prebuilt = coverage["prebuilt"]
+        if prebuilt is not None:
+            print(
+                f"index coverage: {prebuilt['fraction']:.1%} of "
+                f"{coverage['total_vertices']} vertices prebuilt "
+                f"({prebuilt['bytes']:,} bytes)",
+                flush=True,
+            )
+        if args.adaptive:
+            adaptive_cov = coverage["adaptive"]
+            warmed = service.stats()["adaptive"]["warm_restored"]
+            print(
+                f"adaptive tier: budget {args.index_budget_mb:g} MiB, "
+                f"hot threshold {args.hot_threshold:g}, "
+                f"{adaptive_cov['vertices']} trees warm "
+                f"({warmed} restored from "
+                f"{args.adaptive_persist or 'nothing'})",
+                flush=True,
+            )
     print(
         f"listening on {server.url} "
         f"(endpoints: /query /query_batch /healthz /metrics /stats; "
@@ -631,6 +666,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--adaptive-persist", default=None, metavar="PATH",
                          help="persist the hot set here and re-warm from "
                               "it on restart")
+    p_serve.add_argument("--shards", type=int, default=1, metavar="N",
+                         help="partition the vertex space across N shard "
+                              "services behind the asyncio front-end "
+                              "(1 = single service behind the threaded "
+                              "front-end; workers/budget flags are per "
+                              "shard)")
     p_serve.add_argument("--no-core-bounds", action="store_true",
                          help="skip (α,β)-core bound precomputation")
     p_serve.add_argument("--verbose", action="store_true",

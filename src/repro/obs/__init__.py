@@ -37,6 +37,7 @@ from repro.obs.trace import (
     SearchTrace,
     current_trace,
     new_trace_id,
+    stitch_summaries,
     use_trace,
 )
 
@@ -48,6 +49,7 @@ __all__ = [
     "current_trace",
     "use_trace",
     "new_trace_id",
+    "stitch_summaries",
     "TraceRing",
     "render_trace",
     "publish_trace",

@@ -11,7 +11,11 @@ online search) into a shared, instrumented service:
   index → execution → online degradation;
 - :class:`~repro.serve.server.PMBCServer` — ``http.server`` JSON
   front-end (``/query``, ``/query_batch``, ``/healthz``,
-  ``/metrics``, ``/stats``);
+  ``/metrics``, ``/stats``), one thread per connection;
+- :class:`~repro.serve.aserver.AsyncPMBCServer` — the asyncio
+  front-end serving the same schema while multiplexing many open
+  connections on one event loop; pairs with the shard router
+  (:class:`~repro.shard.ShardedService`) for ``pmbc serve --shards N``;
 - :class:`~repro.serve.client.PMBCClient` — stdlib client mapping
   HTTP errors back onto the service exception types;
 - :mod:`~repro.serve.metrics` — dependency-free counters, gauges and
@@ -44,8 +48,10 @@ from repro.serve.service import (
     ServeError,
     ServiceClosedError,
     ServiceConfig,
+    Submission,
 )
 from repro.serve.server import PMBCServer, serve_forever
+from repro.serve.aserver import AsyncPMBCServer, aserve_forever
 from repro.serve.client import PMBCClient, RemoteServiceError
 
 __all__ = [
@@ -53,8 +59,11 @@ __all__ = [
     "ServiceConfig",
     "QueryResult",
     "BatchResult",
+    "Submission",
     "PMBCServer",
     "serve_forever",
+    "AsyncPMBCServer",
+    "aserve_forever",
     "PMBCClient",
     "RemoteServiceError",
     "MetricsRegistry",

@@ -55,13 +55,22 @@ __all__ = [
     "PMBCRequestHandler",
     "PMBCServer",
     "serve_forever",
+    "build_query_request",
+    "parse_batch_item",
+    "render_biclique",
+    "render_result",
+    "render_batch_result",
+    "resolve_vertex",
 ]
 
 #: Version of the JSON request/response schema.  Bumped whenever a
 #: field is added or its meaning changes; responses echo it so clients
 #: can detect skew.  v2 added ``objective`` and strict unknown-field
 #: rejection (a typo like ``objektive`` is a 400, not a silent default).
-SCHEMA_VERSION = 2
+#: v3 added the sharded-serving response metadata: ``shard`` (which
+#: shard answered) and ``degraded`` (the owner was down and the
+#: request was rerouted) on query and batch payloads.
+SCHEMA_VERSION = 3
 
 _QUERY_FIELDS = frozenset(
     {
@@ -123,6 +132,143 @@ def _parse_flag(params: dict, name: str) -> bool:
     if isinstance(raw, bool):
         return raw
     return str(raw).lower() in ("1", "true", "yes")
+
+
+# ----------------------------------------------------------------------
+# wire <-> domain translation, shared by the threaded front-end below
+# and the asyncio front-end (repro.serve.aserver)
+
+
+def resolve_vertex(graph, params: dict, side: Side) -> int:
+    """The dense vertex id from a ``vertex`` or ``label`` wire field."""
+    label = params.get("label")
+    if label is not None:
+        try:
+            return graph.vertex_by_label(side, label)
+        except KeyError:
+            raise InvalidRequestError(
+                f"no {side.value} vertex labelled {label!r}"
+            ) from None
+    return _parse_int(params, "vertex")
+
+
+def build_query_request(graph, params: dict, where: str) -> QueryRequest:
+    """A validated :class:`QueryRequest` from wire fields.
+
+    Structural violations — an unregistered objective, a non-string
+    trace id — surface as :class:`InvalidRequestError` (HTTP 400)
+    rather than an opaque 500.
+    """
+    side = _parse_side(str(params.get("side", "")))
+    vertex = resolve_vertex(graph, params, side)
+    tau_u = _parse_int(params, "tau_u", default=1)
+    tau_l = _parse_int(params, "tau_l", default=1)
+    trace_id = params.get("trace_id")
+    try:
+        return QueryRequest(
+            side,
+            vertex,
+            tau_u,
+            tau_l,
+            objective=str(params.get("objective", "pmbc")),
+            trace_id=str(trace_id) if trace_id else None,
+        )
+    except (TypeError, ValueError) as exc:
+        raise InvalidRequestError(f"{where}: {exc}") from None
+
+
+def parse_batch_item(graph, item, position: int) -> QueryRequest:
+    """One validated batch entry (``queries[position]``)."""
+    if not isinstance(item, dict):
+        raise InvalidRequestError(
+            f"queries[{position}] must be a JSON object"
+        )
+    where = f"queries[{position}]"
+    _reject_unknown(item, _BATCH_ITEM_FIELDS, where)
+    return build_query_request(graph, item, where)
+
+
+def render_biclique(graph, biclique) -> dict | None:
+    """The JSON shape of one answer (or None for an empty answer)."""
+    if biclique is None:
+        return None
+    upper_labels, lower_labels = biclique.with_labels(graph)
+    return {
+        "shape": list(biclique.shape),
+        "edges": biclique.num_edges,
+        "upper": sorted(map(str, upper_labels)),
+        "lower": sorted(map(str, lower_labels)),
+    }
+
+
+def render_result(
+    graph,
+    result: QueryResult,
+    request: QueryRequest,
+    verify: bool,
+) -> dict:
+    """The full ``/query`` success payload."""
+    payload: dict = {
+        "schema_version": SCHEMA_VERSION,
+        "query": {
+            "side": request.side.value,
+            "vertex": request.vertex,
+            "tau_u": request.tau_u,
+            "tau_l": request.tau_l,
+            "objective": request.objective,
+        },
+        "backend": result.backend,
+        "shared": result.shared,
+        "queue_ms": result.queue_seconds * 1e3,
+        "total_ms": result.total_seconds * 1e3,
+        "degraded": result.degraded,
+    }
+    if result.shard is not None:
+        payload["shard"] = result.shard
+    biclique = result.biclique
+    payload["result"] = render_biclique(graph, biclique)
+    if result.trace is not None:
+        payload["trace"] = result.trace
+    if verify:
+        # The structural certificate (query membership, constraint
+        # satisfaction, completeness) is objective-agnostic.
+        check = check_personalized_answer(
+            graph,
+            request.side,
+            request.vertex,
+            request.tau_u,
+            request.tau_l,
+            biclique,
+        )
+        payload["verified"] = {
+            "valid": check.valid,
+            "reasons": list(check.reasons),
+        }
+    return payload
+
+
+def render_batch_result(graph, requests, result) -> dict:
+    """The full ``/query_batch`` success payload."""
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "backend": result.backend,
+        "count": len(result),
+        "queue_ms": result.queue_seconds * 1e3,
+        "total_ms": result.total_seconds * 1e3,
+        "degraded": result.degraded,
+        "results": [
+            {
+                "query": request.to_json(),
+                "result": render_biclique(graph, biclique),
+            }
+            for request, biclique in zip(requests, result.bicliques)
+        ],
+    }
+    if result.shard is not None:
+        payload["shard"] = result.shard
+    if result.trace is not None:
+        payload["trace"] = result.trace
+    return payload
 
 
 class PMBCRequestHandler(BaseHTTPRequestHandler):
@@ -281,46 +427,12 @@ class PMBCRequestHandler(BaseHTTPRequestHandler):
             },
         )
 
-    def _resolve_vertex(self, params: dict, side: Side) -> int:
-        label = params.get("label")
-        if label is not None:
-            try:
-                return self.service.graph.vertex_by_label(side, label)
-            except KeyError:
-                raise InvalidRequestError(
-                    f"no {side.value} vertex labelled {label!r}"
-                ) from None
-        return _parse_int(params, "vertex")
-
-    def _build_request(self, params: dict, where: str) -> QueryRequest:
-        """A validated :class:`QueryRequest` from wire fields.
-
-        Structural violations — an unregistered objective, a non-string
-        trace id — surface as :class:`InvalidRequestError` (HTTP 400)
-        rather than an opaque 500.
-        """
-        side = _parse_side(str(params.get("side", "")))
-        vertex = self._resolve_vertex(params, side)
-        tau_u = _parse_int(params, "tau_u", default=1)
-        tau_l = _parse_int(params, "tau_l", default=1)
-        trace_id = params.get("trace_id")
-        try:
-            return QueryRequest(
-                side,
-                vertex,
-                tau_u,
-                tau_l,
-                objective=str(params.get("objective", "pmbc")),
-                trace_id=str(trace_id) if trace_id else None,
-            )
-        except (TypeError, ValueError) as exc:
-            raise InvalidRequestError(f"{where}: {exc}") from None
-
     def _handle_query(self, params: dict) -> None:
         service = self.service
+        graph = service.graph
         try:
             _reject_unknown(params, _QUERY_FIELDS, "query")
-            request = self._build_request(params, "query")
+            request = build_query_request(graph, params, "query")
             deadline = _parse_float(params, "deadline")
             verify = _parse_flag(params, "verify")
             explain = _parse_flag(params, "explain")
@@ -330,19 +442,11 @@ class PMBCRequestHandler(BaseHTTPRequestHandler):
         except ServeError as exc:
             self._send_error_json(exc)
             return
-        self._send_json(200, self._render_result(result, request, verify))
-
-    def _parse_batch_item(self, item, position: int) -> QueryRequest:
-        if not isinstance(item, dict):
-            raise InvalidRequestError(
-                f"queries[{position}] must be a JSON object"
-            )
-        where = f"queries[{position}]"
-        _reject_unknown(item, _BATCH_ITEM_FIELDS, where)
-        return self._build_request(item, where)
+        self._send_json(200, render_result(graph, result, request, verify))
 
     def _handle_query_batch(self, params: dict) -> None:
         service = self.service
+        graph = service.graph
         try:
             _reject_unknown(params, _BATCH_FIELDS, "batch")
             queries = params.get("queries")
@@ -351,7 +455,7 @@ class PMBCRequestHandler(BaseHTTPRequestHandler):
                     "'queries' must be a non-empty JSON array"
                 )
             requests = [
-                self._parse_batch_item(item, position)
+                parse_batch_item(graph, item, position)
                 for position, item in enumerate(queries)
             ]
             deadline = _parse_float(params, "deadline")
@@ -362,77 +466,7 @@ class PMBCRequestHandler(BaseHTTPRequestHandler):
         except ServeError as exc:
             self._send_error_json(exc)
             return
-        payload = {
-            "schema_version": SCHEMA_VERSION,
-            "backend": result.backend,
-            "count": len(result),
-            "queue_ms": result.queue_seconds * 1e3,
-            "total_ms": result.total_seconds * 1e3,
-            "results": [
-                {
-                    "query": request.to_json(),
-                    "result": self._render_biclique(biclique),
-                }
-                for request, biclique in zip(
-                    requests, result.bicliques
-                )
-            ],
-        }
-        if result.trace is not None:
-            payload["trace"] = result.trace
-        self._send_json(200, payload)
-
-    def _render_biclique(self, biclique) -> dict | None:
-        if biclique is None:
-            return None
-        upper_labels, lower_labels = biclique.with_labels(self.service.graph)
-        return {
-            "shape": list(biclique.shape),
-            "edges": biclique.num_edges,
-            "upper": sorted(map(str, upper_labels)),
-            "lower": sorted(map(str, lower_labels)),
-        }
-
-    def _render_result(
-        self,
-        result: QueryResult,
-        request: QueryRequest,
-        verify: bool,
-    ) -> dict:
-        payload: dict = {
-            "schema_version": SCHEMA_VERSION,
-            "query": {
-                "side": request.side.value,
-                "vertex": request.vertex,
-                "tau_u": request.tau_u,
-                "tau_l": request.tau_l,
-                "objective": request.objective,
-            },
-            "backend": result.backend,
-            "shared": result.shared,
-            "queue_ms": result.queue_seconds * 1e3,
-            "total_ms": result.total_seconds * 1e3,
-        }
-        biclique = result.biclique
-        payload["result"] = self._render_biclique(biclique)
-        if result.trace is not None:
-            payload["trace"] = result.trace
-        if verify:
-            # The structural certificate (query membership, constraint
-            # satisfaction, completeness) is objective-agnostic.
-            check = check_personalized_answer(
-                self.service.graph,
-                request.side,
-                request.vertex,
-                request.tau_u,
-                request.tau_l,
-                biclique,
-            )
-            payload["verified"] = {
-                "valid": check.valid,
-                "reasons": list(check.reasons),
-            }
-        return payload
+        self._send_json(200, render_batch_result(graph, requests, result))
 
 
 class PMBCServer:
@@ -484,12 +518,20 @@ class PMBCServer:
         self._httpd.serve_forever()
 
     def shutdown(self) -> None:
-        """Stop the HTTP loop and close the underlying service."""
+        """Stop the HTTP loop and close the underlying service.
+
+        Teardown order matters: stop the ``serve_forever`` loop and
+        **join the acceptor thread first**, then close the listening
+        socket, and only then close the service (which tears down its
+        executor).  Closing the socket or the service while the
+        acceptor is still dispatching lets a late connection race a
+        dying executor — the CI-flake class this ordering eliminates.
+        """
         self._httpd.shutdown()
-        self._httpd.server_close()
         if self._thread is not None:
             self._thread.join()
             self._thread = None
+        self._httpd.server_close()
         self.service.close()
 
     def __enter__(self) -> PMBCServer:

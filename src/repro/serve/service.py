@@ -80,6 +80,7 @@ __all__ = [
     "ServiceConfig",
     "QueryResult",
     "BatchResult",
+    "Submission",
     "ServeError",
     "InvalidRequestError",
     "QueueFullError",
@@ -263,6 +264,8 @@ class QueryResult:
     queue_seconds: float    # admission -> worker pickup
     total_seconds: float    # admission -> answer
     trace: dict | None = None   # search trace summary (explain requests)
+    shard: int | None = None    # answering shard (sharded deployments)
+    degraded: bool = False      # rerouted around a down shard
 
 
 @dataclass(frozen=True)
@@ -274,6 +277,8 @@ class BatchResult:
     queue_seconds: float    # admission -> worker pickup
     total_seconds: float    # admission -> answer
     trace: dict | None = None   # search trace summary (explain requests)
+    shard: int | None = None    # answering shard (single-shard batches)
+    degraded: bool = False      # some sub-batch rerouted around a down shard
 
     def __len__(self) -> int:
         return len(self.bicliques)
@@ -305,6 +310,43 @@ class _BatchRequest:
 
     def remaining(self, now: float) -> float | None:
         return None if self.deadline is None else self.deadline - now
+
+
+@dataclass
+class Submission:
+    """A non-blocking admission handle.
+
+    :attr:`future` resolves to the :class:`QueryResult` /
+    :class:`BatchResult` (or raises the terminal :class:`ServeError`).
+    Async front-ends wrap it with :func:`asyncio.wrap_future` and, when
+    their own wait times out, call :meth:`expire` to race the worker
+    for the terminal outcome — exactly the settle race the blocking
+    :meth:`PMBCService.query` path runs.
+
+    Attributes
+    ----------
+    future:
+        Resolves to the result, or raises the request's terminal error.
+    budget:
+        The effective deadline budget in seconds (the caller's, or the
+        service default), ``None`` when the request may wait forever.
+    """
+
+    future: Future
+    budget: float | None
+    _expire: object = field(default=None, repr=False)
+
+    def expire(self) -> bool:
+        """Settle the request as ``deadline_exceeded`` if still pending.
+
+        Returns True when this call won the race (the future now raises
+        :class:`DeadlineExceededError`); False when a worker settled
+        first, in which case :attr:`future` already holds the real
+        outcome.
+        """
+        if self._expire is None:
+            return False
+        return self._expire()
 
 
 class _PartialBackend:
@@ -469,6 +511,11 @@ class PMBCService:
         Service tunables (see :class:`ServiceConfig`).
     metrics:
         Optional shared registry; a fresh one is created by default.
+    bounds:
+        Optional precomputed :class:`~repro.core.bounds.CoreBounds`
+        for ``graph``; when given the engine adopts them instead of
+        recomputing.  Sharded deployments (:mod:`repro.shard`) compute
+        the bounds once and hand the same object to every shard.
 
     Use as a context manager, or call :meth:`start` / :meth:`close`::
 
@@ -482,6 +529,7 @@ class PMBCService:
         index: PMBCIndex | None = None,
         config: ServiceConfig | None = None,
         metrics: MetricsRegistry | None = None,
+        bounds=None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.graph = graph
@@ -491,6 +539,7 @@ class PMBCService:
             use_core_bounds=self.config.use_core_bounds,
             cache_size=self.config.cache_size,
             kernel=self.config.kernel,
+            bounds=bounds,
         )
         exec_workers = self.config.exec_workers or self.config.num_workers
         if self.config.execution == "process":
@@ -880,6 +929,70 @@ class PMBCService:
         return self._admit(
             side, vertex, tau_u, tau_l, deadline, explain
         ).future
+
+    def submit_batch(
+        self,
+        requests,
+        deadline: float | None = None,
+        explain: bool = False,
+    ) -> Future:
+        """Admit a batch; the Future resolves to a :class:`BatchResult`.
+
+        The non-blocking counterpart of :meth:`query_batch`; admission
+        failures raise immediately, exactly as :meth:`submit`.
+        """
+        return self._admit_batch(requests, deadline, explain).future
+
+    def admit(
+        self,
+        side: Side | QueryRequest,
+        vertex: int | None = None,
+        tau_u: int = 1,
+        tau_l: int = 1,
+        deadline: float | None = None,
+        explain: bool = False,
+    ) -> Submission:
+        """Admit a request and return a :class:`Submission` handle.
+
+        Like :meth:`submit`, but the handle additionally exposes
+        :meth:`Submission.expire` so non-blocking callers (the asyncio
+        front-end, the shard router) can run the same deadline settle
+        race :meth:`query` runs internally.
+        """
+        request = self._admit(side, vertex, tau_u, tau_l, deadline, explain)
+        budget = self.config.default_deadline if deadline is None else deadline
+
+        def _expire() -> bool:
+            return self._settle(
+                request,
+                "deadline_exceeded",
+                error=DeadlineExceededError(f"no answer within {budget}s"),
+            )
+
+        return Submission(
+            future=request.future, budget=budget, _expire=_expire
+        )
+
+    def admit_batch(
+        self,
+        requests,
+        deadline: float | None = None,
+        explain: bool = False,
+    ) -> Submission:
+        """Admit a batch and return a :class:`Submission` handle."""
+        batch = self._admit_batch(requests, deadline, explain)
+        budget = self.config.default_deadline if deadline is None else deadline
+
+        def _expire() -> bool:
+            return self._settle(
+                batch,
+                "deadline_exceeded",
+                error=DeadlineExceededError(
+                    f"no batch answer within {budget}s"
+                ),
+            )
+
+        return Submission(future=batch.future, budget=budget, _expire=_expire)
 
     def _admit(
         self,

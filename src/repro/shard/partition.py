@@ -1,0 +1,131 @@
+"""The partitioning rule: which shard owns which query vertex.
+
+A :class:`ShardMap` deterministically assigns every vertex of a
+bipartite graph to exactly one of ``num_shards`` shards.  Vertices are
+laid out on a single combined axis — upper vertices first (global ids
+``0 .. num_upper-1``), then lower vertices (``num_upper ..
+num_upper+num_lower-1``), the same order the packed CSR adjacency and
+the index serializer use — and the axis is cut into ``num_shards``
+contiguous ranges of near-equal size (the first ``total % num_shards``
+ranges hold one extra vertex).
+
+Contiguity is what makes the rule cheap and auditable: ownership is a
+single integer division, a shard's span survives relabeling because it
+is defined over post-relabel dense ids, and with more shards than
+vertices the trailing shards own empty ranges (legal — the router
+simply never routes to them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.bipartite import BipartiteGraph, Side
+
+__all__ = ["ShardMap"]
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """Deterministic contiguous-range vertex → shard assignment.
+
+    Attributes
+    ----------
+    num_shards:
+        How many shards the vertex space is cut into (>= 1).
+    num_upper / num_lower:
+        The graph shape the map was built for; guards against applying
+        a map to a differently shaped graph after reload.
+    """
+
+    num_shards: int
+    num_upper: int
+    num_lower: int
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError(
+                f"num_shards must be >= 1, got {self.num_shards}"
+            )
+        if self.num_upper < 0 or self.num_lower < 0:
+            raise ValueError("vertex counts must be non-negative")
+
+    @classmethod
+    def for_graph(cls, graph: BipartiteGraph, num_shards: int) -> ShardMap:
+        """The map partitioning ``graph``'s vertices into ``num_shards``."""
+        return cls(
+            num_shards=num_shards,
+            num_upper=graph.num_upper,
+            num_lower=graph.num_lower,
+        )
+
+    @property
+    def total_vertices(self) -> int:
+        """Size of the combined (upper + lower) vertex axis."""
+        return self.num_upper + self.num_lower
+
+    def global_id(self, side: Side, vertex: int) -> int:
+        """Position of ``(side, vertex)`` on the combined axis."""
+        if not 0 <= vertex < (
+            self.num_upper if side is Side.UPPER else self.num_lower
+        ):
+            raise ValueError(
+                f"vertex {vertex} out of range for the {side.value} layer"
+            )
+        return vertex if side is Side.UPPER else self.num_upper + vertex
+
+    def shard_of(self, side: Side, vertex: int) -> int:
+        """The shard owning ``(side, vertex)``."""
+        gid = self.global_id(side, vertex)
+        total = self.total_vertices
+        base, extra = divmod(total, self.num_shards)
+        # The first `extra` shards own (base + 1) vertices each.
+        boundary = extra * (base + 1)
+        if gid < boundary:
+            return gid // (base + 1)
+        if base == 0:
+            # More shards than vertices: everything past the boundary
+            # is unreachable, but guard the division anyway.
+            return extra
+        return extra + (gid - boundary) // base
+
+    def span(self, shard: int) -> tuple[int, int]:
+        """Half-open global-id range ``[start, stop)`` owned by ``shard``.
+
+        Empty shards (possible when ``num_shards > total_vertices``)
+        answer ``start == stop``.
+        """
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(
+                f"shard must be in [0, {self.num_shards}), got {shard}"
+            )
+        base, extra = divmod(self.total_vertices, self.num_shards)
+        if shard < extra:
+            start = shard * (base + 1)
+            return start, start + base + 1
+        start = extra * (base + 1) + (shard - extra) * base
+        return start, start + base
+
+    def spans(self) -> list[tuple[int, int]]:
+        """Every shard's ``[start, stop)`` span, in shard order."""
+        return [self.span(shard) for shard in range(self.num_shards)]
+
+    def owned(self, shard: int) -> list[tuple[Side, int]]:
+        """The ``(side, vertex)`` pairs ``shard`` owns, in axis order."""
+        start, stop = self.span(shard)
+        pairs = []
+        for gid in range(start, stop):
+            if gid < self.num_upper:
+                pairs.append((Side.UPPER, gid))
+            else:
+                pairs.append((Side.LOWER, gid - self.num_upper))
+        return pairs
+
+    def to_json(self) -> dict:
+        """A JSON-friendly description (used by ``/stats``)."""
+        return {
+            "num_shards": self.num_shards,
+            "num_upper": self.num_upper,
+            "num_lower": self.num_lower,
+            "spans": [list(span) for span in self.spans()],
+        }

@@ -155,3 +155,30 @@ def test_shutdown_closes_service(paper_graph):
     assert client.healthz()
     server.shutdown()
     assert service.closed
+
+
+def test_shutdown_joins_acceptor_before_service_and_leaks_no_threads(
+    paper_graph,
+):
+    """Regression: the acceptor thread must be joined before the
+    service (and its executor) closes — the old order let an in-flight
+    handler race a closing service, and could leave the acceptor
+    thread alive after ``shutdown()`` returned.
+    """
+    import threading
+
+    service = PMBCService(paper_graph, config=ServiceConfig(num_workers=2))
+    service.start()
+    server = PMBCServer(service, port=0).start()
+    client = PMBCClient(server.url, timeout=10)
+    assert client.query(side="upper", vertex=0)["result"] is not None
+    server.shutdown()
+    assert service.closed
+    leaked = [
+        t.name
+        for t in threading.enumerate()
+        if t.name.startswith(("pmbc-serve", "pmbc-adaptive"))
+    ]
+    assert not leaked, f"threads alive after shutdown: {leaked}"
+    # Shutdown is idempotent.
+    server.shutdown()

@@ -1,0 +1,116 @@
+"""Unit tests for the contiguous-range :class:`ShardMap`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.bipartite import Side
+from repro.shard import ShardMap
+
+
+@pytest.mark.parametrize("num_shards", [1, 2, 3, 5, 7])
+def test_every_vertex_owned_exactly_once(medium_planted_graph, num_shards):
+    shard_map = ShardMap.for_graph(medium_planted_graph, num_shards)
+    seen: dict[tuple[Side, int], int] = {}
+    for shard in range(num_shards):
+        for pair in shard_map.owned(shard):
+            assert pair not in seen, f"{pair} owned by two shards"
+            seen[pair] = shard
+    assert len(seen) == shard_map.total_vertices
+    # shard_of agrees with the owned() enumeration for every vertex.
+    for (side, vertex), shard in seen.items():
+        assert shard_map.shard_of(side, vertex) == shard
+
+
+def test_spans_are_contiguous_and_near_equal(medium_planted_graph):
+    shard_map = ShardMap.for_graph(medium_planted_graph, 3)
+    spans = shard_map.spans()
+    assert spans[0][0] == 0
+    for (__, stop), (start, __stop) in zip(spans, spans[1:]):
+        assert stop == start  # no gaps, no overlap
+    assert spans[-1][1] == shard_map.total_vertices
+    sizes = [stop - start for start, stop in spans]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_boundary_vertices_route_to_adjacent_shards(medium_planted_graph):
+    """The vertices on either side of a span cut land on different shards."""
+    shard_map = ShardMap.for_graph(medium_planted_graph, 4)
+    num_upper = shard_map.num_upper
+
+    def pair_of(gid: int) -> tuple[Side, int]:
+        if gid < num_upper:
+            return Side.UPPER, gid
+        return Side.LOWER, gid - num_upper
+
+    for shard, (start, stop) in enumerate(shard_map.spans()):
+        if start == stop:
+            continue
+        assert shard_map.shard_of(*pair_of(start)) == shard
+        assert shard_map.shard_of(*pair_of(stop - 1)) == shard
+        if stop < shard_map.total_vertices:
+            assert shard_map.shard_of(*pair_of(stop)) == shard + 1
+
+
+def test_boundary_spans_relabeled_axis_between_sides(medium_planted_graph):
+    """The upper/lower seam is just another point on the combined axis.
+
+    With two shards the cut falls at ``total // 2 (+1)`` — inside the
+    upper layer for this graph — so shard 1 owns the tail of the upper
+    layer *and* the whole lower layer.  Ownership follows post-relabel
+    dense ids, not the side split.
+    """
+    shard_map = ShardMap.for_graph(medium_planted_graph, 2)
+    cut = shard_map.span(0)[1]
+    assert cut < shard_map.num_upper, "graph too small for this scenario"
+    assert shard_map.shard_of(Side.UPPER, cut - 1) == 0
+    assert shard_map.shard_of(Side.UPPER, cut) == 1
+    assert shard_map.shard_of(Side.LOWER, 0) == 1
+    assert shard_map.shard_of(Side.LOWER, shard_map.num_lower - 1) == 1
+
+
+def test_more_shards_than_vertices_leaves_empty_shards():
+    shard_map = ShardMap(num_shards=7, num_upper=2, num_lower=2)
+    spans = shard_map.spans()
+    assert [stop - start for start, stop in spans] == [1, 1, 1, 1, 0, 0, 0]
+    for shard in (4, 5, 6):
+        assert shard_map.owned(shard) == []
+    # Every vertex still routes to a non-empty shard.
+    for side in Side:
+        for vertex in range(2):
+            owner = shard_map.shard_of(side, vertex)
+            assert shard_map.owned(owner), "routed to an empty shard"
+
+
+def test_single_shard_owns_everything(paper_graph):
+    shard_map = ShardMap.for_graph(paper_graph, 1)
+    assert shard_map.spans() == [(0, shard_map.total_vertices)]
+    for side in Side:
+        count = (
+            shard_map.num_upper if side is Side.UPPER else shard_map.num_lower
+        )
+        for vertex in range(count):
+            assert shard_map.shard_of(side, vertex) == 0
+
+
+def test_invalid_arguments_raise():
+    with pytest.raises(ValueError):
+        ShardMap(num_shards=0, num_upper=4, num_lower=4)
+    with pytest.raises(ValueError):
+        ShardMap(num_shards=2, num_upper=-1, num_lower=4)
+    shard_map = ShardMap(num_shards=2, num_upper=3, num_lower=3)
+    with pytest.raises(ValueError):
+        shard_map.shard_of(Side.UPPER, 3)
+    with pytest.raises(ValueError):
+        shard_map.shard_of(Side.LOWER, -1)
+    with pytest.raises(ValueError):
+        shard_map.span(2)
+
+
+def test_to_json_round_trips_the_layout(paper_graph):
+    shard_map = ShardMap.for_graph(paper_graph, 3)
+    blob = shard_map.to_json()
+    assert blob["num_shards"] == 3
+    assert blob["num_upper"] == paper_graph.num_upper
+    assert blob["num_lower"] == paper_graph.num_lower
+    assert blob["spans"] == [list(span) for span in shard_map.spans()]
