@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Emit benchmark snapshots: kernel latency and adaptive serve throughput.
 
-Three suites, selected with ``--suite {kernel,serve,load,all}``:
+Four suites, selected with ``--suite {kernel,serve,load,update,all}``:
 
 **kernel** (default) emits ``BENCH_kernel.json``, a kernel latency
 snapshot covering all three compute kernels (``set``, ``bitset``,
@@ -29,6 +29,19 @@ behind the asyncio front-end) with the same total worker count.
 baseline's rate (the CI load-smoke gate).  The section is merged, not
 overwritten: serve-suite results already in the file are preserved,
 and vice versa.
+
+**update** emits ``BENCH_update.json``: a temporal edge-update replay
+(:func:`repro.bench.workloads.temporal_replay` — seeded churn with
+interleaved Zipf queries) applied once through the streaming
+maintenance path (:meth:`PMBCService.update_batch`: in-place
+(α,β)-core bound repair, packed-adjacency patching, scoped
+invalidation) and once as a per-batch full rebuild.  Interleaved
+answers are asserted equal, the final bounds and packed adjacency are
+asserted identical to a from-scratch build (differential failures are
+hard in every mode), and the steady-state segment must trigger zero
+re-packs.  The throughput gate: incremental strictly beats rebuild in
+``--smoke`` (fig6-small), and is at least 10x on the full fig6-medium
+replay.
 
 Runs the Figure 6 / Figure 7 query workloads (same datasets, query
 pools and τ settings as ``test_fig6_query_time.py`` and
@@ -130,6 +143,28 @@ SERVE_EXPONENT = 1.2
 SERVE_TAU = 2
 SERVE_BUDGET_MB = 16.0
 SERVE_HOT_THRESHOLD = 2.0
+
+#: Update-suite workload: a temporal edge-update replay with
+#: interleaved queries on a fig6-medium dataset (fig6-small in smoke
+#: mode), applied once through the incremental maintenance path
+#: (:meth:`PMBCService.update_batch`) and once as a per-batch full
+#: rebuild (fresh graph + (α,β)-core bounds from scratch).
+UPDATE_DATASET = "Amazon"          # fig6-medium
+UPDATE_SMOKE_DATASET = "Writers"   # fig6-small
+UPDATE_NUM_EVENTS = 1500
+UPDATE_SMOKE_EVENTS = 400
+#: Batch size doubles as the freshness SLA: answers may lag the stream
+#: by at most this many updates, and both paths must be query-ready at
+#: every batch boundary (a rebuild-based system pays a full
+#: graph+bounds rebuild per boundary no matter how few updates it
+#: covers).
+UPDATE_BATCH = 4
+UPDATE_QUERY_EVERY = 40
+UPDATE_TAU = 2
+UPDATE_DELETE_FRACTION = 0.45
+#: First fraction of the stream treated as warm-up; the remainder is
+#: the steady-state segment whose re-pack counter must stay at zero.
+UPDATE_WARMUP_FRACTION = 0.2
 
 #: Load-suite workload: open-loop Zipf arrivals against two HTTP
 #: stacks on a fig6-medium dataset.  Worker threads are split across
@@ -594,6 +629,230 @@ def bench_load(smoke: bool) -> tuple[dict, list[str]]:
     return body, failures
 
 
+def bench_update(smoke: bool) -> tuple[dict, list[str]]:
+    """Temporal-replay maintenance: incremental vs rebuild.
+
+    Replays one seeded :func:`temporal_replay` stream (edge churn with
+    interleaved Zipf queries) twice:
+
+    - **incremental** — a :class:`~repro.serve.PMBCService` applies
+      each update batch through :meth:`update_batch` (in-place bound
+      repair + packed-adjacency patching + scoped invalidation) and
+      answers the interleaved queries;
+    - **rebuild** — the pre-streaming baseline: each batch re-creates
+      the :class:`BipartiteGraph` and recomputes the (α,β)-core
+      bounds from scratch, then answers queries online.
+
+    Both paths see identical batch boundaries; the headline metric is
+    maintenance throughput (updates/s, query time excluded).  Every
+    interleaved query is asserted equal across the two paths, and the
+    run ends with a differential identity check: the incrementally
+    maintained bounds must equal ``compute_bounds`` of the final
+    graph, and the patched packed adjacency must be byte-identical to
+    a fresh pack.  Failures are hard (returned regardless of smoke):
+    this snapshot doubles as an incremental-vs-rebuild differential
+    run.  The steady-state segment (after the warm-up prefix) must
+    trigger zero re-packs.
+    """
+    from repro.bench.workloads import temporal_replay
+    from repro.graph.bipartite import BipartiteGraph, Side
+    from repro.kernel.dynadj import DynamicPackedAdjacency
+    from repro.serve.service import PMBCService, ServiceConfig
+
+    dataset = UPDATE_SMOKE_DATASET if smoke else UPDATE_DATASET
+    num_events = UPDATE_SMOKE_EVENTS if smoke else UPDATE_NUM_EVENTS
+    graph = load_dataset(dataset)
+    events = temporal_replay(
+        graph,
+        num_updates=num_events,
+        delete_fraction=UPDATE_DELETE_FRACTION,
+        rewire_fraction=1.0,
+        query_every=UPDATE_QUERY_EVERY,
+        seed=WORKLOAD_SEED,
+    )
+
+    # Shared batch schedule: updates accumulate up to UPDATE_BATCH and
+    # flush on queries, so both paths apply identical batches.
+    batches: list[list] = []
+    schedule: list[tuple[str, object]] = []  # ("batch", ops) | ("query", q)
+    pending: list[tuple[str, int, int]] = []
+    for __, kind, a, b in events:
+        if kind == "query":
+            if pending:
+                schedule.append(("batch", pending))
+                batches.append(pending)
+                pending = []
+            schedule.append(("query", (a, b)))
+        else:
+            pending.append((kind, a, b))
+            if len(pending) >= UPDATE_BATCH:
+                schedule.append(("batch", pending))
+                batches.append(pending)
+                pending = []
+    if pending:
+        schedule.append(("batch", pending))
+        batches.append(pending)
+    num_updates = sum(len(b) for b in batches)
+    warmup_batches = round(len(batches) * UPDATE_WARMUP_FRACTION)
+
+    failures: list[str] = []
+    perf_counter = time.perf_counter
+
+    # -- incremental path -------------------------------------------------
+    config = ServiceConfig(num_workers=2, max_queue=64)
+    inc_answers: list[int] = []
+    inc_update_seconds = 0.0
+    inc_query_ms: list[float] = []
+    steady_repacks = repacks_at_warmup = 0
+    with PMBCService(graph, config=config) as service:
+        batch_index = 0
+        for kind, payload in schedule:
+            if kind == "batch":
+                t0 = perf_counter()
+                service.update_batch(payload)
+                inc_update_seconds += perf_counter() - t0
+                batch_index += 1
+                if batch_index == warmup_batches:
+                    repacks_at_warmup = service._dynadj.repack_count
+            else:
+                side, vertex = payload
+                t0 = perf_counter()
+                result = service.query(side, vertex, UPDATE_TAU, UPDATE_TAU)
+                inc_query_ms.append((perf_counter() - t0) * 1e3)
+                inc_answers.append(
+                    result.biclique.num_edges if result.biclique else 0
+                )
+        stats = service.stats()
+        final_graph = service.graph
+        final_bounds = service.engine.bounds
+        dynadj_bytes = (
+            service._dynadj.canonical_bytes()
+            if service._dynadj is not None
+            else None
+        )
+        total_repacks = stats["updates"]["repacks"]
+        steady_repacks = total_repacks - repacks_at_warmup
+        cascade = stats["updates"]["cascade_vertices"]
+
+    # -- rebuild baseline -------------------------------------------------
+    upper_adj = [
+        set(graph.neighbors(Side.UPPER, u)) for u in range(graph.num_upper)
+    ]
+    reb_graph = graph
+    reb_bounds = compute_bounds(graph)
+    reb_answers: list[int] = []
+    reb_update_seconds = 0.0
+    reb_query_ms: list[float] = []
+    for kind, payload in schedule:
+        if kind == "batch":
+            for action, u, v in payload:
+                if action == "insert":
+                    upper_adj[u].add(v)
+                else:
+                    upper_adj[u].discard(v)
+            t0 = perf_counter()
+            reb_graph = BipartiteGraph(
+                [sorted(ns) for ns in upper_adj], num_lower=graph.num_lower
+            )
+            reb_bounds = compute_bounds(reb_graph)
+            reb_update_seconds += perf_counter() - t0
+        else:
+            side, vertex = payload
+            t0 = perf_counter()
+            result = pmbc_online(
+                reb_graph, side, vertex, UPDATE_TAU, UPDATE_TAU,
+                bounds=reb_bounds,
+            )
+            reb_query_ms.append((perf_counter() - t0) * 1e3)
+            reb_answers.append(result.num_edges if result is not None else 0)
+
+    # -- differential checks (hard failures, smoke or not) ----------------
+    if inc_answers != reb_answers:
+        diverged = sum(
+            1 for a, b in zip(inc_answers, reb_answers) if a != b
+        )
+        failures.append(
+            f"incremental answers diverged from rebuild on "
+            f"{diverged}/{len(inc_answers)} interleaved queries"
+        )
+    exact = compute_bounds(final_graph)
+    for side in Side:
+        if (
+            final_bounds.z[side] != exact.z[side]
+            or final_bounds.prefix[side] != exact.prefix[side]
+            or final_bounds.suffix[side] != exact.suffix[side]
+        ):
+            failures.append(
+                f"incremental bounds diverged from recomputed bounds "
+                f"on the {side.value} layer"
+            )
+    if dynadj_bytes is not None:
+        fresh = DynamicPackedAdjacency(final_graph).canonical_bytes()
+        if dynadj_bytes != fresh:
+            failures.append(
+                "patched packed adjacency is not byte-identical to a "
+                "fresh pack of the final graph"
+            )
+    if steady_repacks != 0:
+        failures.append(
+            f"{steady_repacks} re-pack(s) on the steady-state segment "
+            "(expected 0: rewire churn stays inside the drift budget)"
+        )
+
+    inc_tput = num_updates / inc_update_seconds if inc_update_seconds else 0.0
+    reb_tput = num_updates / reb_update_seconds if reb_update_seconds else 0.0
+    speedup = inc_tput / reb_tput if reb_tput else None
+    if smoke:
+        if speedup is not None and speedup <= 1.0:
+            failures.append(
+                f"incremental maintenance (x{speedup:.2f}) does not beat "
+                "per-batch rebuild"
+            )
+    elif speedup is not None and speedup < 10.0:
+        failures.append(
+            f"incremental maintenance x{speedup:.2f} below the 10x "
+            "rebuild gate on the full temporal replay"
+        )
+
+    body = {
+        "workload": {
+            "dataset": dataset,
+            "num_events": num_events,
+            "num_updates": num_updates,
+            "num_queries": len(inc_answers),
+            "batch_size": UPDATE_BATCH,
+            "query_every": UPDATE_QUERY_EVERY,
+            "delete_fraction": UPDATE_DELETE_FRACTION,
+            "rewire_fraction": 1.0,
+            "tau": UPDATE_TAU,
+            "seed": WORKLOAD_SEED,
+            "warmup_batches": warmup_batches,
+            "num_batches": len(batches),
+        },
+        "incremental": {
+            "update_seconds": round(inc_update_seconds, 4),
+            "updates_per_second": round(inc_tput, 1),
+            "query": latency_stats(inc_query_ms),
+            "cascade_vertices": cascade,
+            "repacks_total": total_repacks,
+            "repacks_steady_state": steady_repacks,
+        },
+        "rebuild": {
+            "update_seconds": round(reb_update_seconds, 4),
+            "updates_per_second": round(reb_tput, 1),
+            "query": latency_stats(reb_query_ms),
+        },
+        "summary": {
+            "speedup": round(speedup, 1) if speedup else None,
+            "differential_ok": not any(
+                "diverged" in f or "byte-identical" in f for f in failures
+            ),
+            "steady_state_repack_free": steady_repacks == 0,
+        },
+    }
+    return body, failures
+
+
 def git_commit() -> str:
     """``HEAD`` hash, with ``-dirty`` when the working tree has changes."""
     try:
@@ -620,7 +879,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--suite",
-        choices=("kernel", "serve", "load", "all"),
+        choices=("kernel", "serve", "load", "update", "all"),
         default="kernel",
         help="which benchmark suite(s) to run (default: kernel)",
     )
@@ -642,6 +901,12 @@ def main(argv=None) -> int:
         help="serve-suite output path (default: repo-root BENCH_serve.json)",
     )
     parser.add_argument(
+        "--update-out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_update.json",
+        help="update-suite output path (default: repo-root BENCH_update.json)",
+    )
+    parser.add_argument(
         "--repeats",
         type=int,
         default=None,
@@ -661,6 +926,8 @@ def main(argv=None) -> int:
         status = run_serve_suite(args) or status
     if args.suite in ("load", "all"):
         status = run_load_suite(args) or status
+    if args.suite in ("update", "all"):
+        status = run_update_suite(args) or status
     return status
 
 
@@ -710,6 +977,50 @@ def run_load_suite(args) -> int:
         print(
             "smoke ok: sharded async stack sustains at least the "
             "single-process baseline"
+        )
+    return 0
+
+
+def run_update_suite(args) -> int:
+    """Run the temporal-replay update benchmark; write ``BENCH_update.json``.
+
+    Differential failures (answer/bound/byte divergence) and
+    steady-state re-packs fail the run in *any* mode; the throughput
+    gate is strictly-beats in smoke and 10x on the full replay.
+    """
+    body, failures = bench_update(args.smoke)
+    snapshot = {
+        "schema": 1,
+        "suite": "update",
+        "commit": git_commit(),
+        "created_unix": int(time.time()),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        **body,
+    }
+    args.update_out.write_text(json.dumps(snapshot, indent=2) + "\n")
+    summary = body["summary"]
+    print(
+        f"update {body['workload']['dataset']}: incremental "
+        f"{body['incremental']['updates_per_second']:,.0f} upd/s vs rebuild "
+        f"{body['rebuild']['updates_per_second']:,.0f} upd/s "
+        f"(x{summary['speedup'] or '?'}), "
+        f"steady-state repacks="
+        f"{body['incremental']['repacks_steady_state']}, "
+        f"differential {'ok' if summary['differential_ok'] else 'FAILED'}",
+        flush=True,
+    )
+    print(f"wrote {args.update_out}")
+    if failures:
+        for failure in failures:
+            print(f"UPDATE FAIL: {failure}", file=sys.stderr)
+        return 1
+    if args.smoke:
+        print(
+            "smoke ok: incremental maintenance beats rebuild, zero "
+            "steady-state re-packs, differential identity holds"
         )
     return 0
 

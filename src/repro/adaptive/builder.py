@@ -203,6 +203,23 @@ class BackgroundBuilder:
         """Wake the sweeper immediately instead of awaiting the interval."""
         self._wake.set()
 
+    def update_graph(self, graph: BipartiteGraph, executor=None) -> None:
+        """Point future builds at a post-update graph snapshot.
+
+        Streaming updates (:meth:`repro.serve.PMBCService.update_batch`)
+        call this after swapping the serving graph so persistence and
+        subsequent builds see the new layer sizes.  ``executor``
+        optionally replaces the build substrate — a process pool whose
+        workers inherited the pre-update graph at spawn cannot build
+        correct trees anymore, so the service hands over an in-process
+        fallback.  A build already in flight on the old substrate may
+        still land; its key is in the update's affected set, so the
+        caller's eviction pass runs after this swap.
+        """
+        self._graph = graph
+        if executor is not None:
+            self._executor = executor
+
     # ------------------------------------------------------------------
     # sweeping
 

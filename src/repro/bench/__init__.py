@@ -8,6 +8,7 @@
 
 from repro.bench.workloads import (
     low_degree_queries,
+    temporal_replay,
     top_degree_queries,
     uniform_queries,
     zipf_queries,
@@ -24,6 +25,7 @@ __all__ = [
     "uniform_queries",
     "low_degree_queries",
     "zipf_queries",
+    "temporal_replay",
     "Timed",
     "time_callable",
     "save_results",

@@ -107,6 +107,111 @@ def zipf_queries(
     return rng.choices(population, weights=weights, k=num_queries)
 
 
+def temporal_replay(
+    graph: BipartiteGraph,
+    num_updates: int = 500,
+    delete_fraction: float = 0.45,
+    rewire_fraction: float = 0.7,
+    query_every: int = 0,
+    query_exponent: float = 1.1,
+    seed: int = 0,
+) -> list[tuple[int, str, int, int]]:
+    """A timestamped edge-update stream with interleaved queries.
+
+    Models a live graph under churn: starting from ``graph``'s edge
+    set, each step deletes a random live edge (probability
+    ``delete_fraction``) or inserts one — preferring to *re-insert* a
+    previously deleted edge (probability ``rewire_fraction``, the
+    steady-state rewire churn that keeps every degree inside its
+    original envelope, so the packed bit space never drifts past the
+    re-pack budget) and otherwise creating a fresh edge between
+    existing vertices.  With ``query_every > 0`` a Zipf-skewed query
+    event is interleaved after every that many updates.
+
+    Returns events as uniform 4-tuples, timestamped by position:
+
+    - ``(t, "insert", u, v)`` / ``(t, "delete", u, v)`` — an edge
+      update between upper vertex ``u`` and lower vertex ``v``;
+    - ``(t, "query", side, vertex)`` — a personalized query against
+      the graph state at time ``t`` (``side`` is a :class:`Side`).
+
+    Deterministic for a given seed.  ``rewire_fraction=1.0`` after a
+    warm-up yields a pure steady-state segment (every insert undoes an
+    earlier delete), the regime where incremental maintenance must be
+    re-pack free.
+    """
+    if num_updates < 1:
+        raise ValueError("num_updates must be >= 1")
+    if not 0.0 <= delete_fraction <= 1.0:
+        raise ValueError(f"delete_fraction must be in [0,1], got {delete_fraction}")
+    if not 0.0 <= rewire_fraction <= 1.0:
+        raise ValueError(f"rewire_fraction must be in [0,1], got {rewire_fraction}")
+    rng = random.Random(seed)
+    live_list = [
+        (u, v)
+        for u in range(graph.num_upper)
+        for v in graph.neighbors(Side.UPPER, u)
+    ]
+    live = set(live_list)
+    deleted: list[tuple[int, int]] = []
+
+    def pop_live() -> tuple[int, int]:
+        # O(1) uniform sample via swap-remove; live_list may hold
+        # stale entries for edges re-inserted after a delete, so skip
+        # anything no longer live.
+        while True:
+            i = rng.randrange(len(live_list))
+            edge = live_list[i]
+            live_list[i] = live_list[-1]
+            live_list.pop()
+            if edge in live:
+                return edge
+    queries = (
+        zipf_queries(
+            graph,
+            num_queries=(num_updates // query_every) + 1,
+            exponent=query_exponent,
+            seed=seed + 1,
+        )
+        if query_every > 0
+        else []
+    )
+    events: list[tuple[int, str, int, int]] = []
+    next_query = iter(queries)
+    for step in range(num_updates):
+        if live and (not deleted or rng.random() < delete_fraction):
+            edge = pop_live()
+            live.discard(edge)
+            deleted.append(edge)
+            events.append((len(events), "delete", *edge))
+        elif deleted and rng.random() < rewire_fraction:
+            edge = deleted.pop(rng.randrange(len(deleted)))
+            live.add(edge)
+            live_list.append(edge)
+            events.append((len(events), "insert", *edge))
+        else:
+            for __ in range(64):
+                edge = (
+                    rng.randrange(graph.num_upper),
+                    rng.randrange(graph.num_lower),
+                )
+                if edge not in live:
+                    break
+            else:  # dense graph: fall back to rewire
+                if not deleted:
+                    continue
+                edge = deleted.pop(rng.randrange(len(deleted)))
+            live.add(edge)
+            live_list.append(edge)
+            if edge in deleted:
+                deleted.remove(edge)
+            events.append((len(events), "insert", *edge))
+        if query_every > 0 and (step + 1) % query_every == 0:
+            side, vertex = next(next_query)
+            events.append((len(events), "query", side, vertex))
+    return events
+
+
 def low_degree_queries(
     graph: BipartiteGraph,
     num_queries: int = 20,

@@ -21,7 +21,11 @@ Subcommands:
   front-end; ``--shards N`` (N >= 2) partitions the vertex space
   across N shard services behind the asyncio front-end (see
   :mod:`repro.serve`, :mod:`repro.shard`, :mod:`repro.exec`,
-  docs/serving.md, docs/sharding.md and docs/execution.md).
+  docs/serving.md, docs/sharding.md and docs/execution.md);
+- ``pmbc update --url http://HOST:PORT insert:3:7 delete:1:2`` — apply
+  a batch of streaming edge updates to a running server via ``POST
+  /update`` (incremental bound repair instead of a rebuild; see
+  docs/dynamic.md).
 """
 
 from __future__ import annotations
@@ -475,7 +479,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
     print(
         f"listening on {server.url} "
-        f"(endpoints: /query /query_batch /healthz /metrics /stats; "
+        f"(endpoints: /query /query_batch /update /healthz /metrics "
+        f"/stats; "
         f"Ctrl-C to stop)",
         flush=True,
     )
@@ -485,6 +490,73 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("shutting down", file=sys.stderr)
     finally:
         server.shutdown()
+    return 0
+
+
+def _parse_update_op(token: str) -> tuple[str, int, int]:
+    """Parse one ``insert:U:V`` / ``delete:U:V`` (or ``+U:V`` / ``-U:V``)."""
+    if token.startswith("+"):
+        action, rest = "insert", token[1:]
+    elif token.startswith("-"):
+        action, rest = "delete", token[1:]
+    else:
+        action, sep, rest = token.partition(":")
+        if not sep:
+            raise ValueError(f"malformed update {token!r}")
+    if action not in ("insert", "delete"):
+        raise ValueError(f"unknown action in {token!r}")
+    parts = rest.split(":")
+    if len(parts) != 2:
+        raise ValueError(f"expected ACTION:U:V, got {token!r}")
+    try:
+        u, v = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise ValueError(f"non-integer endpoint in {token!r}") from None
+    return action, u, v
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    """Apply a batch of edge updates to a running ``pmbc serve``."""
+    from repro.serve import PMBCClient
+    from repro.serve.service import ServeError
+
+    ops: list[tuple[str, int, int]] = []
+    try:
+        for token in args.ops:
+            ops.append(_parse_update_op(token))
+        if args.file:
+            with open(args.file, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line or line.startswith("#"):
+                        continue
+                    # accept "insert U V" / "insert:U:V" stream lines
+                    ops.append(_parse_update_op(":".join(line.split())))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not ops:
+        print("error: no updates given (ops and/or --file)", file=sys.stderr)
+        return 2
+    client = PMBCClient(args.url, timeout=args.timeout)
+    try:
+        payload = client.update(ops)
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(
+            f"applied {payload['applied']}/{len(ops)} "
+            f"(+{payload['inserts']} -{payload['deletes']}, "
+            f"{payload['noops']} no-ops) in {payload['total_ms']:.1f} ms; "
+            f"cascade {payload['cascade']}, "
+            f"trees repaired {payload['trees_repaired']}, "
+            f"evicted {payload['evicted']}"
+            + (f", shard {payload['shard']}"
+               if payload.get("shard") is not None else "")
+        )
     return 0
 
 
@@ -623,6 +695,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--quick", action="store_true",
                          help="smallest datasets, reduced workload")
     p_bench.set_defaults(fn=_cmd_bench)
+
+    p_update = sub.add_parser(
+        "update",
+        help="apply streaming edge updates to a running pmbc serve",
+    )
+    p_update.add_argument(
+        "ops", nargs="*", metavar="OP",
+        help="updates in order: insert:U:V / delete:U:V "
+             "(shorthand +U:V, and -U:V after a '--' separator)")
+    p_update.add_argument("--url", default="http://127.0.0.1:8642",
+                          help="server base URL (default %(default)s)")
+    p_update.add_argument("--file", default=None, metavar="PATH",
+                          help="also read 'ACTION U V' lines from this "
+                               "file ('#' comments allowed), appended "
+                               "after positional ops")
+    p_update.add_argument("--timeout", type=float, default=60.0,
+                          help="HTTP timeout in seconds (default 60)")
+    p_update.add_argument("--json", action="store_true",
+                          help="print the full response payload instead "
+                               "of the one-line summary")
+    p_update.set_defaults(fn=_cmd_update)
 
     p_serve = sub.add_parser(
         "serve", help="run the HTTP query-serving front-end"

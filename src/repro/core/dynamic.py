@@ -13,13 +13,20 @@ scheme on top of the static constructors:
   and ``N(u) ∪ {v}`` on the lower layer (neighborhoods taken *after*
   an insertion and *before* a deletion), and only those vertices'
   search trees need rebuilding.
-- The (α,β)-core bounds are global pruning structures, so they are
-  recomputed per update batch (they are cheap relative to tree
-  rebuilds and stale bounds could over-prune).
+- The (α,β)-core bounds are global pruning structures; they are
+  maintained **incrementally** by
+  :class:`~repro.corenum.incremental.IncrementalCoreBounds` — a bounded
+  peeling cascade per update instead of a from-scratch ``O(δ·m)``
+  recomputation — and stay *exact* at every point.
+- For packed kernels the adjacency is additionally mirrored in a
+  :class:`~repro.kernel.DynamicPackedAdjacency`, so affected trees are
+  rebuilt by fused extraction from live patched bit rows — no ``O(m)``
+  graph snapshot per update batch.
 - Deleted edges can strand biclique instances in the array ``A``;
   they become unreachable (every tree referencing a broken biclique is
   in the affected set) and :meth:`DynamicPMBCIndex.compact` garbage
-  collects them.
+  collects them — automatically every ``compact_every`` deletions when
+  that knob is set.
 
 Rebuilding a tree costs the same as during construction —
 ``O(deg(x) · TC(PMBC-OL*))`` — so an update touches
@@ -34,8 +41,14 @@ from repro.core.construction import build_search_tree
 from repro.core.index import BicliqueArray, PMBCIndex, SearchTree
 from repro.core.query import pmbc_index_query
 from repro.core.result import Biclique
-from repro.corenum.bounds import CoreBounds, compute_bounds
+from repro.corenum.bounds import CoreBounds
+from repro.corenum.incremental import (
+    DEFAULT_CASCADE_CAP,
+    IncrementalCoreBounds,
+)
 from repro.graph.bipartite import BipartiteGraph, Side
+from repro.kernel import is_packed_kernel, resolve_kernel
+from repro.kernel.dynadj import DEFAULT_CHURN_BUDGET, DynamicPackedAdjacency
 
 
 def edge_affected_sets(
@@ -58,10 +71,41 @@ def edge_affected_sets(
 
 
 class DynamicPMBCIndex:
-    """A PMBC-Index that stays correct under edge insertions/deletions."""
+    """A PMBC-Index that stays correct under edge insertions/deletions.
+
+    Parameters
+    ----------
+    graph:
+        The starting graph.
+    use_core_bounds:
+        Maintain (α,β)-core bounds (PMBC-OL* pruning) incrementally.
+    compact_every:
+        When set, :meth:`compact` runs automatically after every this
+        many effective deletions (``None`` — the default — disables
+        auto-GC; stranded bicliques then accumulate until an explicit
+        :meth:`compact`).
+    kernel:
+        Compute kernel for tree rebuilds; packed kernels additionally
+        maintain a patched :class:`DynamicPackedAdjacency` so rebuilds
+        skip graph snapshots.
+    cascade_cap / churn_budget:
+        Tuning knobs forwarded to the incremental bounds and the packed
+        adjacency respectively.
+    bounds:
+        Optional existing :class:`CoreBounds` of ``graph`` to adopt —
+        it is then repaired in place, so external holders (engines,
+        shards) observe updates without a reference swap.
+    """
 
     def __init__(
-        self, graph: BipartiteGraph, use_core_bounds: bool = True
+        self,
+        graph: BipartiteGraph,
+        use_core_bounds: bool = True,
+        compact_every: int | None = None,
+        kernel: str | None = None,
+        cascade_cap: int = DEFAULT_CASCADE_CAP,
+        churn_budget: int = DEFAULT_CHURN_BUDGET,
+        bounds: CoreBounds | None = None,
     ) -> None:
         self._adj: dict[Side, list[set[int]]] = {
             side: [
@@ -71,11 +115,25 @@ class DynamicPMBCIndex:
             for side in Side
         }
         self._use_core_bounds = use_core_bounds
+        self._kernel = resolve_kernel(kernel)
+        self._inc = (
+            IncrementalCoreBounds(graph, bounds=bounds, cascade_cap=cascade_cap)
+            if use_core_bounds
+            else None
+        )
+        self._dyn = (
+            DynamicPackedAdjacency(graph, churn_budget=churn_budget)
+            if is_packed_kernel(self._kernel)
+            else None
+        )
+        self.compact_every = compact_every
         self._snapshot: BipartiteGraph | None = None
-        self._bounds: CoreBounds | None = None
         self._array = BicliqueArray()
         self._trees: dict[Side, list[SearchTree]] = {}
         self.trees_rebuilt = 0
+        self.noop_updates = 0
+        self.auto_compactions = 0
+        self._deletions_since_compact = 0
         self._rebuild_all()
 
     # ------------------------------------------------------------------
@@ -125,36 +183,20 @@ class DynamicPMBCIndex:
     def insert_edge(self, u: int, v: int) -> int:
         """Insert edge ``(u, v)``; new vertex ids extend the layers.
 
-        Returns the number of search trees rebuilt.
+        Returns the number of search trees rebuilt.  Inserting an
+        existing edge is a free, counted no-op (returns 0).
         """
         if u < 0 or v < 0:
             raise ValueError(f"vertex ids must be non-negative: ({u}, {v})")
-        self._grow(Side.UPPER, u)
-        self._grow(Side.LOWER, v)
-        if v in self._adj[Side.UPPER][u]:
-            return 0  # already present
-        self._adj[Side.UPPER][u].add(v)
-        self._adj[Side.LOWER][v].add(u)
-        self._invalidate()
-        return self._rebuild_affected(u, v)
+        return self.apply_updates([("insert", u, v)])
 
     def delete_edge(self, u: int, v: int) -> int:
-        """Delete edge ``(u, v)``; raises KeyError when absent.
+        """Delete edge ``(u, v)``.
 
-        Returns the number of search trees rebuilt.  Deletions keep the
-        cached (α,β)-core bounds: cores only shrink when edges leave, so
-        the stale bounds remain valid (merely looser) upper bounds.
+        Returns the number of search trees rebuilt.  Deleting a
+        missing edge is a free, counted no-op (returns 0).
         """
-        if not self.has_edge(u, v):
-            raise KeyError(f"edge ({u}, {v}) not in graph")
-        # Affected neighborhoods are taken before the deletion.
-        affected_upper, affected_lower = edge_affected_sets(
-            self._adj[Side.UPPER][u], self._adj[Side.LOWER][v], u, v
-        )
-        self._adj[Side.UPPER][u].discard(v)
-        self._adj[Side.LOWER][v].discard(u)
-        self._snapshot = None  # bounds stay: still valid after deletion
-        return self._rebuild(affected_upper, affected_lower)
+        return self.apply_updates([("delete", u, v)])
 
     def apply_updates(
         self, updates: list[tuple[str, int, int]]
@@ -164,39 +206,61 @@ class DynamicPMBCIndex:
         All graph mutations happen first, then the union of affected
         trees is rebuilt once — cheaper than per-edge maintenance when
         updates cluster around the same vertices.  Returns the number
-        of trees rebuilt.  Invalid updates (deleting a missing edge,
-        inserting an existing one) raise before any rebuild happens;
-        the graph mutations preceding the failure remain applied.
+        of trees rebuilt.  No-op updates (deleting a missing edge,
+        inserting an existing one) are skipped for free and counted in
+        :attr:`noop_updates` — they trigger no bounds work and no
+        rebuilds; a batch of only no-ops leaves the index untouched.
+        Core bounds are repaired incrementally per effective update,
+        never recomputed from scratch.
         """
         affected_upper: set[int] = set()
         affected_lower: set[int] = set()
-        bounds_stale = False
+        deletions = 0
         for action, u, v in updates:
             if action == "insert":
                 self._grow(Side.UPPER, u)
                 self._grow(Side.LOWER, v)
                 if v in self._adj[Side.UPPER][u]:
-                    raise KeyError(f"edge ({u}, {v}) already present")
+                    self.noop_updates += 1
+                    continue
                 self._adj[Side.UPPER][u].add(v)
                 self._adj[Side.LOWER][v].add(u)
-                bounds_stale = True
+                if self._inc is not None:
+                    self._inc.insert_edge(u, v)
+                if self._dyn is not None:
+                    self._dyn.insert_edge(u, v)
                 affected_upper |= self._adj[Side.LOWER][v]
                 affected_lower |= self._adj[Side.UPPER][u]
             elif action == "delete":
                 if not self.has_edge(u, v):
-                    raise KeyError(f"edge ({u}, {v}) not in graph")
+                    self.noop_updates += 1
+                    continue
                 affected_upper |= self._adj[Side.LOWER][v]
                 affected_lower |= self._adj[Side.UPPER][u]
                 self._adj[Side.UPPER][u].discard(v)
                 self._adj[Side.LOWER][v].discard(u)
+                if self._inc is not None:
+                    self._inc.delete_edge(u, v)
+                if self._dyn is not None:
+                    self._dyn.delete_edge(u, v)
+                deletions += 1
             else:
                 raise ValueError(f"unknown update action {action!r}")
             affected_upper.add(u)
             affected_lower.add(v)
+        if not affected_upper and not affected_lower:
+            return 0  # pure no-op batch: nothing moved, nothing to do
         self._snapshot = None
-        if bounds_stale:
-            self._bounds = None
-        return self._rebuild(affected_upper, affected_lower)
+        rebuilt = self._rebuild(affected_upper, affected_lower)
+        if deletions:
+            self._deletions_since_compact += deletions
+            if (
+                self.compact_every is not None
+                and self._deletions_since_compact >= self.compact_every
+            ):
+                self.compact()
+                self.auto_compactions += 1
+        return rebuilt
 
     def delete_vertex(self, side: Side, v: int) -> int:
         """Remove all incident edges of ``v`` (the vertex id remains,
@@ -235,6 +299,7 @@ class DynamicPMBCIndex:
     def compact(self) -> int:
         """Garbage-collect unreferenced bicliques; returns the number
         removed.  Tree pointers are remapped in place."""
+        self._deletions_since_compact = 0
         referenced: set[int] = set()
         for side in Side:
             for tree in self._trees[side]:
@@ -255,36 +320,50 @@ class DynamicPMBCIndex:
         self._array = fresh
         return removed
 
+    def stats(self) -> dict:
+        """JSON-friendly maintenance counters (nested per component)."""
+        out = {
+            "trees_rebuilt": self.trees_rebuilt,
+            "noop_updates": self.noop_updates,
+            "auto_compactions": self.auto_compactions,
+            "deletions_since_compact": self._deletions_since_compact,
+            "kernel": self._kernel,
+        }
+        if self._inc is not None:
+            out["bounds"] = self._inc.stats()
+        if self._dyn is not None:
+            out["adjacency"] = self._dyn.stats()
+        return out
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _grow(self, side: Side, v: int) -> None:
+        if v < len(self._adj[side]):
+            return
+        if self._inc is not None:
+            self._inc.ensure_vertex(side, v)
+        if self._dyn is not None:
+            self._dyn.ensure_vertex(side, v)
         while v >= len(self._adj[side]):
             self._adj[side].append(set())
             self._trees[side].append(SearchTree())
             self._snapshot = None
 
-    def _invalidate(self) -> None:
-        self._snapshot = None
-        self._bounds = None
-
     def _current_bounds(self) -> CoreBounds | None:
-        if not self._use_core_bounds:
+        if self._inc is None:
             return None
-        if self._bounds is None:
-            self._bounds = compute_bounds(self.graph())
-        return self._bounds
-
-    def _rebuild_affected(self, u: int, v: int) -> int:
-        affected_upper, affected_lower = edge_affected_sets(
-            self._adj[Side.UPPER][u], self._adj[Side.LOWER][v], u, v
-        )
-        return self._rebuild(affected_upper, affected_lower)
+        return self._inc.bounds
 
     def _rebuild(
         self, affected_upper: set[int], affected_lower: set[int]
     ) -> int:
-        graph = self.graph()
+        # Packed kernels extract straight from the live patched
+        # adjacency; the set kernel still needs a materialized snapshot.
+        if self._dyn is not None:
+            graph, extractor = self._dyn, self._dyn.extract
+        else:
+            graph, extractor = self.graph(), None
         bounds = self._current_bounds()
         count = 0
         for side, affected in (
@@ -293,7 +372,13 @@ class DynamicPMBCIndex:
         ):
             for x in affected:
                 self._trees[side][x] = build_search_tree(
-                    graph, side, x, self._array, bounds
+                    graph,
+                    side,
+                    x,
+                    self._array,
+                    bounds,
+                    kernel=self._kernel,
+                    extractor=extractor,
                 )
                 count += 1
         self.trees_rebuilt += count
@@ -304,7 +389,9 @@ class DynamicPMBCIndex:
         bounds = self._current_bounds()
         self._trees = {
             side: [
-                build_search_tree(graph, side, q, self._array, bounds)
+                build_search_tree(
+                    graph, side, q, self._array, bounds, kernel=self._kernel
+                )
                 for q in range(graph.num_vertices_on(side))
             ]
             for side in Side

@@ -87,6 +87,7 @@ class PMBCQueryEngine:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._epoch = 0
 
     @property
     def graph(self) -> BipartiteGraph:
@@ -132,7 +133,38 @@ class PMBCQueryEngine:
     def clear_cache(self) -> None:
         """Drop every cached two-hop subgraph (counters are kept)."""
         with self._cache_lock:
+            self._epoch += 1
             self._locals.clear()
+
+    def update_graph(
+        self,
+        graph: BipartiteGraph,
+        affected: set[tuple[Side, int]] | None = None,
+    ) -> None:
+        """Swap the engine onto a post-update graph snapshot.
+
+        ``affected`` are the ``(side, vertex)`` pairs whose two-hop
+        subgraphs an edge update can change (from
+        :func:`repro.core.dynamic.edge_affected_sets`); only their
+        cache entries are evicted — an edge outside a vertex's two-hop
+        neighborhood cannot alter its local graph.  ``None`` drops the
+        whole cache.  The epoch bump makes extractions already in
+        flight against the old graph return without being cached, so a
+        racing query can never resurrect a stale subgraph.  The bounds
+        object is intentionally **not** swapped: streaming callers
+        repair it in place
+        (:class:`repro.corenum.incremental.IncrementalCoreBounds`), so
+        this engine — and everyone else sharing the object — observes
+        the repaired bounds without any hand-off.
+        """
+        with self._cache_lock:
+            self._graph = graph
+            self._epoch += 1
+            if affected is None:
+                self._locals.clear()
+            else:
+                for key in affected:
+                    self._locals.pop(key, None)
 
     def query(
         self,
@@ -232,11 +264,13 @@ class PMBCQueryEngine:
                     trace.add("cache_hits")
                 return cached
             self._misses += 1
+            epoch = self._epoch
+            graph = self._graph
         # Extraction runs outside the lock so concurrent workers on
         # *different* vertices never serialize (identical concurrent
         # queries are collapsed upstream by repro.serve's single-flight).
         with trace.span("two_hop_extract"):
-            local = extract_local(self._graph, side, q, self._kernel)
+            local = extract_local(graph, side, q, self._kernel)
         if trace.enabled:
             trace.add("cache_misses")
             trace.record_twohop(
@@ -245,6 +279,8 @@ class PMBCQueryEngine:
                 local.num_edges,
             )
         with self._cache_lock:
+            if self._epoch != epoch:
+                return local  # raced an update: answer, don't cache
             if key not in self._locals:
                 self._locals[key] = local
             else:

@@ -29,6 +29,7 @@ a brute-force oracle in the tests.)
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import accumulate
 
 from repro.corenum.decomposition import BicoreDecomposition, decompose
 from repro.graph.bipartite import BipartiteGraph, Side
@@ -40,20 +41,13 @@ def _own_products(stairs: list[int]) -> list[int]:
 
 
 def _prefix_max(values: list[int]) -> list[int]:
-    out: list[int] = []
-    best = 0
-    for value in values:
-        best = max(best, value)
-        out.append(best)
-    return out
+    # C-speed running max; values are non-negative products.
+    return list(accumulate(values, max))
 
 
 def _suffix_max(values: list[int]) -> list[int]:
-    out = [0] * len(values)
-    best = 0
-    for i in range(len(values) - 1, -1, -1):
-        best = max(best, values[i])
-        out[i] = best
+    out = list(accumulate(reversed(values), max))
+    out.reverse()
     return out
 
 
@@ -94,6 +88,23 @@ class CoreBounds:
         return arr[k - 1]
 
 
+def vertex_bound_rows(
+    stairs: list[int],
+) -> tuple[int, list[int], list[int]]:
+    """One vertex's ``(z, prefix, suffix)`` rows from its own-side stairs.
+
+    The per-vertex kernel of :func:`compute_bounds`, exposed so the
+    incremental maintenance (:mod:`repro.corenum.incremental`) can
+    refresh exactly the rows of vertices whose staircases changed.
+    """
+    products = _own_products(stairs)
+    return (
+        max(products, default=0),
+        _prefix_max(products),
+        _suffix_max(products),
+    )
+
+
 def compute_bounds(
     graph: BipartiteGraph, decomposition: BicoreDecomposition | None = None
 ) -> CoreBounds:
@@ -118,10 +129,10 @@ def compute_bounds(
         side_prefix: list[list[int]] = []
         side_suffix: list[list[int]] = []
         for stairs in own_stairs[side]:
-            products = _own_products(stairs)
-            side_prefix.append(_prefix_max(products))
-            side_suffix.append(_suffix_max(products))
-            side_z.append(max(products, default=0))
+            z_v, pref, suff = vertex_bound_rows(stairs)
+            side_prefix.append(pref)
+            side_suffix.append(suff)
+            side_z.append(z_v)
         z[side] = side_z
         prefix[side] = side_prefix
         suffix[side] = side_suffix

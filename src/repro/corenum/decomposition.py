@@ -24,6 +24,7 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass
+from itertools import accumulate
 
 from repro.corenum.peeling import max_delta
 from repro.graph.bipartite import BipartiteGraph, Side
@@ -105,17 +106,38 @@ def _invert_staircase(
     """
     if own_max <= delta:
         return []
-    # marker[a] = max c with direct_prefix[c] == a capped at own_max.
-    marker = [0] * (own_max + 2)
+    # marker[a] = max c with direct_prefix[c] == a capped at own_max
+    # (c increases through the loop, so plain assignment keeps the max).
+    marker = [0] * (own_max + 1)
     for c_idx, cap in enumerate(direct_prefix):
-        c = c_idx + 1
         capped = min(cap, own_max)
         if capped >= 1:
-            marker[capped] = max(marker[capped], c)
-    # suffix max: best[a] = max c with direct_prefix[c] >= a.
-    for a in range(own_max - 1, 0, -1):
-        marker[a] = max(marker[a], marker[a + 1])
-    return [marker[a] for a in range(delta + 1, own_max + 1)]
+            marker[capped] = c_idx + 1
+    # suffix max: best[a] = max c with direct_prefix[c] >= a, via a
+    # C-speed scan over marker[own_max] .. marker[1].
+    suffix = list(accumulate(marker[:0:-1], max))
+    # suffix[own_max - a] == best[a]; emit a = delta+1 .. own_max.
+    return suffix[own_max - delta - 1 :: -1]
+
+
+def _vertex_stairs(
+    beta_prefix: list[int], alpha_prefix: list[int], delta: int
+) -> tuple[list[int], list[int]]:
+    """Assemble one vertex's (α-stairs, β-stairs) from its sweep columns.
+
+    ``beta_prefix[i]`` is the vertex's level in the α=i+1 sweep (max β)
+    and ``alpha_prefix[i]`` its level in the β=i+1 sweep (max α).  The
+    direct prefixes cover coordinates up to δ; the tails are recovered
+    by inverting the opposite sweep.  Shared by :func:`decompose` and
+    the incremental maintenance in :mod:`repro.corenum.incremental`.
+    """
+    alpha_max = alpha_prefix[0] if alpha_prefix else 0
+    beta_max = beta_prefix[0] if beta_prefix else 0
+    full_alpha = beta_prefix[: min(delta, alpha_max)]
+    full_alpha += _invert_staircase(alpha_prefix, alpha_max, delta)
+    full_beta = alpha_prefix[: min(delta, beta_max)]
+    full_beta += _invert_staircase(beta_prefix, beta_max, delta)
+    return full_alpha, full_beta
 
 
 @dataclass
@@ -184,12 +206,9 @@ def decompose(graph: BipartiteGraph) -> BicoreDecomposition:
         for v in range(n):
             beta_prefix = [sweep[side][v] for sweep in alpha_sweeps]
             alpha_prefix = [sweep[side][v] for sweep in beta_sweeps]
-            alpha_max = alpha_prefix[0] if alpha_prefix else 0
-            beta_max = beta_prefix[0] if beta_prefix else 0
-            full_alpha = beta_prefix[: min(delta, alpha_max)]
-            full_alpha += _invert_staircase(alpha_prefix, alpha_max, delta)
-            full_beta = alpha_prefix[: min(delta, beta_max)]
-            full_beta += _invert_staircase(beta_prefix, beta_max, delta)
+            full_alpha, full_beta = _vertex_stairs(
+                beta_prefix, alpha_prefix, delta
+            )
             side_alpha.append(full_alpha)
             side_beta.append(full_beta)
         alpha_stairs[side] = side_alpha

@@ -1,0 +1,780 @@
+"""Incremental (α,β)-core / ``z``-bound maintenance under edge updates.
+
+The static pipeline (``decompose`` → ``compute_bounds``) costs ``O(δ·m)``
+peeling sweeps per call, which a mutating workload would pay on every
+edge.  This module keeps the full sweep family *live* instead: for each
+fixed coordinate ``a ≤ δ`` it stores the per-vertex level function
+
+    ``ℓ(x) = max t such that x ∈ (a, t)-core``
+
+(the exact output of ``_peel_levels``) and repairs it locally when an
+edge is inserted or deleted, then refreshes staircases and
+:class:`~repro.corenum.bounds.CoreBounds` rows for exactly the vertices
+whose levels moved.  The repairs are **exact**, not approximate — they
+rest on the fixpoint characterization of ``ℓ``:
+
+- ``ℓ`` is the greatest fixpoint of the operator ``F`` where, for a
+  free-side vertex, ``F(x)`` is the h-index of its neighbors' levels
+  and, for a fixed-side vertex, the ``a``-th largest neighbor level.
+  Any assignment with ``L ≤ F(L)`` pointwise satisfies ``L ≤ ℓ``
+  (the set ``{x : L(x) ≥ t}`` is an (a,t)-core witness), so a
+  decrease-only chaotic iteration started from any upper bound of the
+  new levels converges to them exactly.
+- **Deletion** starts the iteration from the old levels (cores only
+  shrink), seeding the worklist with the two endpoints — the classic
+  peeling cascade, bounded by ``cascade_cap``.
+- **Insertion** uses the locality lemma: removing one fixed-side
+  vertex from an (a,t)-core leaves an (a,t-1)-core, so every vertex
+  except the fixed-side endpoint rises by at most one level, and the
+  set of vertices changed at threshold ``t`` is a connected region of
+  vertices with old level exactly ``t-1`` touching an endpoint.  The
+  repair BFS-grows that candidate region per threshold, initializes it
+  to ``old + 1`` (the fixed endpoint to its ``a``-th largest
+  neighbor-bound), and decrease-converges with the boundary frozen.
+
+Every sweep repair falls back to a single fresh ``_peel_levels`` sweep
+when the cascade/region exceeds ``cascade_cap`` — never the full
+decomposition.  δ itself moves by at most one per update; a growth
+(gated on both endpoint degrees, probed with one ``alpha_beta_core``
+peel) appends two fresh sweeps, a shrink drops the top ones.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.corenum.bounds import CoreBounds, vertex_bound_rows
+from repro.corenum.decomposition import (
+    BicoreDecomposition,
+    _peel_levels,
+    _vertex_stairs,
+)
+from repro.corenum.peeling import alpha_beta_core, max_delta
+from repro.graph.bipartite import BipartiteGraph, Side
+
+__all__ = ["IncrementalCoreBounds", "UpdateRepairStats"]
+
+#: Default bound on vertices a single sweep repair may touch before the
+#: sweep is re-peeled from scratch instead.
+DEFAULT_CASCADE_CAP = 4096
+
+
+class _AdjView:
+    """Duck-typed :class:`BipartiteGraph` over mutable adjacency sets.
+
+    Exposes exactly the surface ``_peel_levels`` / ``alpha_beta_core``
+    read (``num_vertices_on``, ``degrees``, ``neighbors``, layer
+    counts), so sweeps can be re-peeled against the live adjacency
+    without materializing a snapshot.
+    """
+
+    def __init__(self, adj: dict[Side, list[set[int]]]) -> None:
+        self._adj = adj
+
+    def num_vertices_on(self, side: Side) -> int:
+        return len(self._adj[side])
+
+    @property
+    def num_upper(self) -> int:
+        return len(self._adj[Side.UPPER])
+
+    @property
+    def num_lower(self) -> int:
+        return len(self._adj[Side.LOWER])
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(ns) for ns in self._adj[Side.UPPER])
+
+    def degrees(self, side: Side) -> list[int]:
+        return [len(ns) for ns in self._adj[side]]
+
+    def neighbors(self, side: Side, v: int):
+        return self._adj[side][v]
+
+
+def _h_index(values: list[int]) -> int:
+    """Max ``t`` with at least ``t`` entries ≥ ``t``."""
+    values.sort(reverse=True)
+    h = 0
+    for i, value in enumerate(values):
+        if value >= i + 1:
+            h = i + 1
+        else:
+            break
+    return h
+
+
+def _kth_largest(values: list[int], k: int) -> int:
+    """The ``k``-th largest entry (0 when fewer than ``k`` entries)."""
+    if len(values) < k:
+        return 0
+    values.sort(reverse=True)
+    return values[k - 1]
+
+
+@dataclass
+class UpdateRepairStats:
+    """Telemetry for one edge update's bound repair."""
+
+    action: str
+    cascade: int = 0  #: vertices processed across all sweep repairs
+    sweeps_repaired: int = 0
+    sweeps_skipped: int = 0  #: degree-gated sweeps proven unaffected
+    sweep_fallbacks: int = 0  #: repairs that re-peeled a full sweep
+    delta_changed: bool = False
+    changed_vertices: set[tuple[Side, int]] = field(default_factory=set)
+
+
+class IncrementalCoreBounds:
+    """Live :class:`CoreBounds` maintained under edge insert/delete.
+
+    The :attr:`bounds` (and :attr:`decomposition`) objects are mutated
+    **in place**, so every holder of the object — engines, serving
+    backends, shards sharing one bounds instance — observes repairs
+    without a reference swap.  Bound rows are replaced whole (one list
+    assignment per vertex), never edited element-wise, so a concurrent
+    reader sees either the old or the new row of a vertex.
+
+    Parameters
+    ----------
+    graph:
+        The starting graph.
+    bounds:
+        Optional existing :class:`CoreBounds` of ``graph`` to adopt and
+        maintain (must have been computed from ``graph``); a fresh one
+        is computed when omitted.
+    cascade_cap:
+        Max vertices a single sweep repair may touch before falling
+        back to re-peeling that sweep.
+    """
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        bounds: CoreBounds | None = None,
+        cascade_cap: int = DEFAULT_CASCADE_CAP,
+    ) -> None:
+        self._adj: dict[Side, list[set[int]]] = {
+            side: [
+                set(graph.neighbors(side, v))
+                for v in range(graph.num_vertices_on(side))
+            ]
+            for side in Side
+        }
+        self._view = _AdjView(self._adj)
+        self.cascade_cap = cascade_cap
+        self._delta = max_delta(graph)
+        self._alpha_sweeps = [
+            _peel_levels(graph, Side.UPPER, a)
+            for a in range(1, self._delta + 1)
+        ]
+        self._beta_sweeps = [
+            _peel_levels(graph, Side.LOWER, b)
+            for b in range(1, self._delta + 1)
+        ]
+        self._decomp = self._assemble_decomposition()
+        if bounds is None:
+            bounds = self._fresh_bounds()
+        self._bounds = bounds
+        # Aggregate counters (exposed via stats()).
+        self.updates = 0
+        self.noop_updates = 0
+        self.cascade_total = 0
+        self.sweep_fallbacks = 0
+        self.delta_changes = 0
+        self.last_repair: UpdateRepairStats | None = None
+        #: Pending stairs/bounds refreshes inside a defer_refresh()
+        #: block (None = eager refresh after every update).
+        self._deferred_refresh: set[tuple[Side, int]] | None = None
+
+    # ------------------------------------------------------------------
+    # Read surface
+    # ------------------------------------------------------------------
+    @property
+    def bounds(self) -> CoreBounds:
+        """The live (in-place maintained) bounds object."""
+        return self._bounds
+
+    @property
+    def decomposition(self) -> BicoreDecomposition:
+        """The live (in-place maintained) decomposition."""
+        return self._decomp
+
+    @property
+    def delta(self) -> int:
+        """Current δ (max t with a non-empty (t,t)-core)."""
+        return self._delta
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether edge ``(u, v)`` exists in the maintained graph."""
+        return (
+            u < len(self._adj[Side.UPPER]) and v in self._adj[Side.UPPER][u]
+        )
+
+    def ensure_vertex(self, side: Side, x: int) -> None:
+        """Extend ``side`` so vertex id ``x`` exists (isolated if new)."""
+        self._grow(side, x)
+
+    def snapshot(self) -> BipartiteGraph:
+        """An immutable :class:`BipartiteGraph` of the maintained graph."""
+        return BipartiteGraph(
+            [sorted(ns) for ns in self._adj[Side.UPPER]],
+            num_lower=len(self._adj[Side.LOWER]),
+        )
+
+    def stats(self) -> dict:
+        """JSON-friendly repair counters."""
+        return {
+            "updates": self.updates,
+            "noop_updates": self.noop_updates,
+            "cascade_total": self.cascade_total,
+            "sweep_fallbacks": self.sweep_fallbacks,
+            "delta_changes": self.delta_changes,
+            "delta": self._delta,
+            "cascade_cap": self.cascade_cap,
+        }
+
+    # ------------------------------------------------------------------
+    # Update surface
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: int, v: int) -> UpdateRepairStats:
+        """Insert edge ``(u, v)``; repairs levels, stairs and bounds.
+
+        Unknown vertex ids extend the layers.  Inserting an existing
+        edge is a free, counted no-op.
+        """
+        stats = UpdateRepairStats("insert")
+        self._grow(Side.UPPER, u)
+        self._grow(Side.LOWER, v)
+        if v in self._adj[Side.UPPER][u]:
+            self.noop_updates += 1
+            stats.action = "noop"
+            self.last_repair = stats
+            return stats
+        self._adj[Side.UPPER][u].add(v)
+        self._adj[Side.LOWER][v].add(u)
+        self._repair_all_sweeps(stats, "insert", u, v)
+        self._maybe_grow_delta(stats, u, v)
+        self._refresh_or_defer(stats.changed_vertices)
+        self._account(stats)
+        return stats
+
+    def delete_edge(self, u: int, v: int) -> UpdateRepairStats:
+        """Delete edge ``(u, v)``; repairs levels, stairs and bounds.
+
+        Deleting a missing edge is a free, counted no-op.
+        """
+        stats = UpdateRepairStats("delete")
+        if not self.has_edge(u, v):
+            self.noop_updates += 1
+            stats.action = "noop"
+            self.last_repair = stats
+            return stats
+        deg_u = len(self._adj[Side.UPPER][u])
+        deg_v = len(self._adj[Side.LOWER][v])
+        self._adj[Side.UPPER][u].discard(v)
+        self._adj[Side.LOWER][v].discard(u)
+        self._repair_all_sweeps(stats, "delete", u, v, deg_u, deg_v)
+        self._maybe_shrink_delta(stats)
+        self._refresh_or_defer(stats.changed_vertices)
+        self._account(stats)
+        return stats
+
+    @contextmanager
+    def defer_refresh(self) -> Iterator[None]:
+        """Batch the stairs/bounds refresh across several updates.
+
+        Inside the block, sweep levels are repaired eagerly (every
+        update sees exact levels) but the per-vertex staircase and
+        bound-row refresh is accumulated and executed once on exit —
+        a batch touching overlapping neighborhoods refreshes each
+        vertex once instead of once per update.  While the block is
+        open the :attr:`bounds` object is stale; callers must not
+        publish it (e.g. swap a graph snapshot) until the block
+        closes.  Not reentrant.
+        """
+        if self._deferred_refresh is not None:
+            raise RuntimeError("defer_refresh() is not reentrant")
+        self._deferred_refresh = set()
+        try:
+            yield
+        finally:
+            pending = self._deferred_refresh
+            self._deferred_refresh = None
+            if pending:
+                self._refresh_vertices(pending)
+
+    def _refresh_or_defer(self, changed: set[tuple[Side, int]]) -> None:
+        if self._deferred_refresh is not None:
+            self._deferred_refresh |= changed
+        else:
+            self._refresh_vertices(changed)
+
+    def verify(self) -> None:
+        """Assert the maintained state equals a from-scratch recompute.
+
+        Test hook: raises ``AssertionError`` on any divergence.
+        """
+        from repro.corenum.bounds import compute_bounds
+        from repro.corenum.decomposition import decompose
+
+        snapshot = self.snapshot()
+        fresh_decomp = decompose(snapshot)
+        assert self._delta == fresh_decomp.delta, (
+            f"delta drifted: {self._delta} != {fresh_decomp.delta}"
+        )
+        for side in Side:
+            assert (
+                self._decomp.alpha_stairs[side]
+                == fresh_decomp.alpha_stairs[side]
+            ), f"alpha stairs drifted on {side}"
+            assert (
+                self._decomp.beta_stairs[side]
+                == fresh_decomp.beta_stairs[side]
+            ), f"beta stairs drifted on {side}"
+        fresh_bounds = compute_bounds(snapshot, fresh_decomp)
+        for side in Side:
+            assert self._bounds.z[side] == fresh_bounds.z[side]
+            assert self._bounds.prefix[side] == fresh_bounds.prefix[side]
+            assert self._bounds.suffix[side] == fresh_bounds.suffix[side]
+
+    # ------------------------------------------------------------------
+    # Sweep repair
+    # ------------------------------------------------------------------
+    def _repair_all_sweeps(
+        self,
+        stats: UpdateRepairStats,
+        action: str,
+        u: int,
+        v: int,
+        deg_u: int | None = None,
+        deg_v: int | None = None,
+    ) -> None:
+        """Repair every stored sweep for one applied edge mutation.
+
+        For inserts the gate degree is the post-insert degree of the
+        sweep's fixed-side endpoint; for deletes the pre-delete degree
+        (``deg_u``/``deg_v``).  A sweep whose fixed value exceeds that
+        degree cannot involve the endpoint, so the edge is invisible to
+        it and the sweep is skipped untouched.
+        """
+        if deg_u is None:
+            deg_u = len(self._adj[Side.UPPER][u])
+        if deg_v is None:
+            deg_v = len(self._adj[Side.LOWER][v])
+        for sweeps, fixed_side, gate in (
+            (self._alpha_sweeps, Side.UPPER, deg_u),
+            (self._beta_sweeps, Side.LOWER, deg_v),
+        ):
+            for a_idx, level in enumerate(sweeps):
+                a = a_idx + 1
+                if a > gate:
+                    stats.sweeps_skipped += 1
+                    continue
+                if action == "insert":
+                    changed = self._repair_sweep_insert(level, fixed_side, a, u, v)
+                    if changed is None:
+                        changed = self._repeel_sweep(level, fixed_side, a)
+                        stats.sweep_fallbacks += 1
+                else:
+                    changed, fell_back = self._repair_sweep_delete(
+                        level, fixed_side, a, u, v
+                    )
+                    if fell_back:
+                        stats.sweep_fallbacks += 1
+                stats.sweeps_repaired += 1
+                stats.cascade += len(changed)
+                stats.changed_vertices.update(changed)
+
+    def _sweep_value(
+        self,
+        level: dict[Side, list[int]],
+        fixed_side: Side,
+        a: int,
+        side: Side,
+        x: int,
+    ) -> int:
+        """The fixpoint operator ``F`` at one vertex."""
+        other = side.other
+        other_level = level[other]
+        values = [other_level[w] for w in self._adj[side][x]]
+        if side is fixed_side:
+            return _kth_largest(values, a)
+        return _h_index(values)
+
+    def _repair_sweep_delete(
+        self,
+        level: dict[Side, list[int]],
+        fixed_side: Side,
+        a: int,
+        u: int,
+        v: int,
+    ) -> tuple[set[tuple[Side, int]], bool]:
+        """Decrease-only cascade from the endpoints.
+
+        Returns ``(changed, fell_back)``.  On a cap overrun the sweep is
+        re-peeled from scratch; the vertices already lowered by the
+        aborted cascade stay in the changed set (their levels are
+        correct, but their staircases still need refreshing).
+        """
+        work: deque[tuple[Side, int]] = deque(
+            ((Side.UPPER, u), (Side.LOWER, v))
+        )
+        queued = set(work)
+        changed: set[tuple[Side, int]] = set()
+        processed = 0
+        adj = self._adj
+        while work:
+            side, x = work.popleft()
+            queued.discard((side, x))
+            processed += 1
+            if processed > self.cascade_cap:
+                changed |= self._repeel_sweep(level, fixed_side, a)
+                return changed, True
+            current = level[side][x]
+            if current == 0:
+                continue
+            # F(x) >= current iff at least `need` neighbor values are
+            # >= current — check by counting before paying for a sort.
+            other_level = level[side.other]
+            need = a if side is fixed_side else current
+            count = 0
+            for w in adj[side][x]:
+                if other_level[w] >= current:
+                    count += 1
+                    if count >= need:
+                        break
+            if count >= need:
+                continue
+            new = self._sweep_value(level, fixed_side, a, side, x)
+            if new >= current:
+                continue
+            level[side][x] = new
+            changed.add((side, x))
+            other = side.other
+            other_level = level[other]
+            for w in self._adj[side][x]:
+                # w's operator value can only drop if x stopped counting
+                # toward w's current level: new < ℓ(w) ≤ current.
+                if new < other_level[w] <= current:
+                    key = (other, w)
+                    if key not in queued:
+                        queued.add(key)
+                        work.append(key)
+        return changed, False
+
+    def _repair_sweep_insert(
+        self,
+        level: dict[Side, list[int]],
+        fixed_side: Side,
+        a: int,
+        u: int,
+        v: int,
+    ) -> set[tuple[Side, int]] | None:
+        """Certified region repair for one insertion; ``None`` on cap.
+
+        Region = per-threshold connected components of old-level
+        ``t-1`` vertices touching an endpoint (the only vertices whose
+        level can rise to ``t``), plus the fixed endpoint, whose level
+        may jump multiple steps and is initialized to its ``a``-th
+        largest neighbor bound instead of ``old + 1``.
+        """
+        adj = self._adj
+        if fixed_side is Side.UPPER:
+            fixed_key, free_key = (Side.UPPER, u), (Side.LOWER, v)
+        else:
+            fixed_key, free_key = (Side.LOWER, v), (Side.UPPER, u)
+        f_side, f_x = fixed_key
+        # Upper bound for the fixed endpoint: every other vertex rises
+        # by ≤ 1, so F'(ℓ+1) bounds its new level.
+        free_level = level[f_side.other]
+        cap_values = [free_level[w] + 1 for w in adj[f_side][f_x]]
+        fixed_target = _kth_largest(cap_values, a)
+        free_target = level[free_key[0]][free_key[1]] + 1
+
+        # Candidate region, grown one threshold at a time.  The two
+        # endpoints seed every threshold, so their neighbors are
+        # bucketed by level once instead of rescanned per threshold.
+        region: set[tuple[Side, int]] = {fixed_key, free_key}
+        thresholds = set(
+            range(level[f_side][f_x] + 1, fixed_target + 1)
+        )
+        thresholds.add(free_target)
+        fixed_buckets: dict[int, list[int]] = {}
+        for w in adj[f_side][f_x]:
+            fixed_buckets.setdefault(free_level[w], []).append(w)
+        o_side = f_side.other
+        fixed_level_row = level[f_side]
+        free_buckets: dict[int, list[int]] = {}
+        for w in adj[o_side][free_key[1]]:
+            free_buckets.setdefault(fixed_level_row[w], []).append(w)
+
+        def qualifies(side: Side, w: int, t: int) -> bool:
+            # Necessary condition for w (old level t-1) to rise to t:
+            # enough neighbors that can reach level >= t.  Non-endpoint
+            # neighbors rise by <= 1, so they need old level >= t-1;
+            # the endpoint on the opposite layer is credited by its
+            # target bound instead (the fixed endpoint can jump several
+            # steps).  Unqualified vertices stay put, and every riser
+            # chains back to the endpoints through other risers, so
+            # skipping them from the BFS loses nothing.
+            need = a if side is fixed_side else t
+            o_level = level[side.other]
+            if side is f_side:
+                ep, ep_ok = free_key[1], free_target >= t
+            else:
+                ep, ep_ok = f_x, fixed_target >= t
+            count = 0
+            t1 = t - 1
+            for z in adj[side][w]:
+                if o_level[z] >= t1 or (ep_ok and z == ep):
+                    count += 1
+                    if count >= need:
+                        return True
+            return False
+
+        for t in thresholds:
+            frontier = []
+            rejected: set[tuple[Side, int]] = set()
+            if fixed_target >= t:
+                for w in fixed_buckets.get(t - 1, ()):
+                    key = (o_side, w)
+                    if key not in region:
+                        if qualifies(o_side, w, t):
+                            region.add(key)
+                            frontier.append(key)
+                        else:
+                            rejected.add(key)
+            if free_target == t:
+                for w in free_buckets.get(t - 1, ()):
+                    key = (f_side, w)
+                    if key not in region and key not in rejected:
+                        if qualifies(f_side, w, t):
+                            region.add(key)
+                            frontier.append(key)
+                        else:
+                            rejected.add(key)
+            if len(region) > self.cascade_cap:
+                return None
+            while frontier:
+                side, x = frontier.pop()
+                other = side.other
+                other_level = level[other]
+                for w in adj[side][x]:
+                    key = (other, w)
+                    if (
+                        other_level[w] == t - 1
+                        and key not in region
+                        and key not in rejected
+                    ):
+                        if qualifies(other, w, t):
+                            region.add(key)
+                            if len(region) > self.cascade_cap:
+                                return None
+                            frontier.append(key)
+                        else:
+                            rejected.add(key)
+
+        # Decrease-converge inside the region; boundary frozen at old
+        # levels (exact, since no vertex outside the region can change).
+        # Candidates live in full per-side rows (copies of the level
+        # rows, bumped inside the region) so the hot neighbor scans are
+        # plain list indexing instead of tuple-keyed dict lookups.
+        cand = {side: level[side].copy() for side in Side}
+        for side, x in region:
+            cand[side][x] += 1
+        cand[f_side][f_x] = fixed_target
+        work: deque[tuple[Side, int]] = deque(region)
+        queued = set(work)
+        while work:
+            side, x = work.popleft()
+            queued.discard((side, x))
+            current = cand[side][x]
+            if current == 0:
+                continue
+            other = side.other
+            other_cand = cand[other]
+            neighbors = adj[side][x]
+            # Counting check first: F(x) >= current iff at least
+            # `need` neighbor values are >= current, which skips the
+            # sort on the (common) already-converged pops.
+            need = a if side is fixed_side else current
+            count = 0
+            for w in neighbors:
+                if other_cand[w] >= current:
+                    count += 1
+                    if count >= need:
+                        break
+            if count >= need:
+                continue
+            values = [other_cand[w] for w in neighbors]
+            if side is fixed_side:
+                new = _kth_largest(values, a)
+            else:
+                new = _h_index(values)
+            if new >= current:
+                continue
+            cand[side][x] = new
+            for w in neighbors:
+                if new < other_cand[w] <= current:
+                    key = (other, w)
+                    if key in region and key not in queued:
+                        queued.add(key)
+                        work.append(key)
+
+        changed: set[tuple[Side, int]] = set()
+        for key in region:
+            side, x = key
+            value = cand[side][x]
+            if value != level[side][x]:
+                level[side][x] = value
+                changed.add(key)
+        return changed
+
+    def _repeel_sweep(
+        self, level: dict[Side, list[int]], fixed_side: Side, a: int
+    ) -> set[tuple[Side, int]]:
+        """Fallback: re-peel one sweep, returning the changed vertices."""
+        fresh = _peel_levels(self._view, fixed_side, a)
+        changed: set[tuple[Side, int]] = set()
+        for side in Side:
+            old_levels = level[side]
+            new_levels = fresh[side]
+            for x, new in enumerate(new_levels):
+                if old_levels[x] != new:
+                    old_levels[x] = new
+                    changed.add((side, x))
+        return changed
+
+    # ------------------------------------------------------------------
+    # δ transitions
+    # ------------------------------------------------------------------
+    def _maybe_grow_delta(
+        self, stats: UpdateRepairStats, u: int, v: int
+    ) -> None:
+        """δ grows by ≤ 1 per insert, and only through the new edge."""
+        d = self._delta + 1
+        if len(self._adj[Side.UPPER][u]) < d or len(self._adj[Side.LOWER][v]) < d:
+            return
+        upper, __ = alpha_beta_core(self._view, d, d)
+        if not upper:
+            return
+        self._alpha_sweeps.append(_peel_levels(self._view, Side.UPPER, d))
+        self._beta_sweeps.append(_peel_levels(self._view, Side.LOWER, d))
+        self._delta = d
+        self._mark_delta_change(stats)
+
+    def _maybe_shrink_delta(self, stats: UpdateRepairStats) -> None:
+        """Drop the top sweeps when the (δ,δ)-core emptied."""
+        while self._delta > 0:
+            top = self._alpha_sweeps[-1]
+            if any(
+                lvl >= self._delta for lvl in top[Side.LOWER]
+            ):
+                return
+            self._alpha_sweeps.pop()
+            self._beta_sweeps.pop()
+            self._delta -= 1
+            self._mark_delta_change(stats)
+
+    def _mark_delta_change(self, stats: UpdateRepairStats) -> None:
+        # The δ split point enters every staircase assembly, so every
+        # vertex's stairs (and bounds) must be refreshed.
+        stats.delta_changed = True
+        self.delta_changes += 1
+        for side in Side:
+            stats.changed_vertices.update(
+                (side, x) for x in range(len(self._adj[side]))
+            )
+
+    # ------------------------------------------------------------------
+    # Staircase / bounds refresh
+    # ------------------------------------------------------------------
+    def _refresh_vertices(
+        self, changed: set[tuple[Side, int]]
+    ) -> None:
+        """Reassemble stairs and bound rows for the changed vertices."""
+        delta = self._delta
+        self._decomp.delta = delta
+        alpha_sweeps = self._alpha_sweeps
+        beta_sweeps = self._beta_sweeps
+        for side, x in changed:
+            beta_prefix = [sweep[side][x] for sweep in alpha_sweeps]
+            alpha_prefix = [sweep[side][x] for sweep in beta_sweeps]
+            full_alpha, full_beta = _vertex_stairs(
+                beta_prefix, alpha_prefix, delta
+            )
+            self._decomp.alpha_stairs[side][x] = full_alpha
+            self._decomp.beta_stairs[side][x] = full_beta
+            own = full_beta if side is Side.UPPER else full_alpha
+            z_v, pref, suff = vertex_bound_rows(own)
+            self._bounds.z[side][x] = z_v
+            self._bounds.prefix[side][x] = pref
+            self._bounds.suffix[side][x] = suff
+
+    def _grow(self, side: Side, x: int) -> None:
+        """Extend every per-vertex array for a new vertex id."""
+        while x >= len(self._adj[side]):
+            self._adj[side].append(set())
+            for sweep in self._alpha_sweeps:
+                sweep[side].append(0)
+            for sweep in self._beta_sweeps:
+                sweep[side].append(0)
+            self._decomp.alpha_stairs[side].append([])
+            self._decomp.beta_stairs[side].append([])
+            self._bounds.z[side].append(0)
+            self._bounds.prefix[side].append([])
+            self._bounds.suffix[side].append([])
+
+    def _account(self, stats: UpdateRepairStats) -> None:
+        self.updates += 1
+        self.cascade_total += stats.cascade
+        self.sweep_fallbacks += stats.sweep_fallbacks
+        self.last_repair = stats
+
+    def _assemble_decomposition(self) -> BicoreDecomposition:
+        delta = self._delta
+        alpha_stairs: dict[Side, list[list[int]]] = {}
+        beta_stairs: dict[Side, list[list[int]]] = {}
+        for side in Side:
+            side_alpha: list[list[int]] = []
+            side_beta: list[list[int]] = []
+            for x in range(len(self._adj[side])):
+                beta_prefix = [s[side][x] for s in self._alpha_sweeps]
+                alpha_prefix = [s[side][x] for s in self._beta_sweeps]
+                full_alpha, full_beta = _vertex_stairs(
+                    beta_prefix, alpha_prefix, delta
+                )
+                side_alpha.append(full_alpha)
+                side_beta.append(full_beta)
+            alpha_stairs[side] = side_alpha
+            beta_stairs[side] = side_beta
+        return BicoreDecomposition(
+            delta=delta, alpha_stairs=alpha_stairs, beta_stairs=beta_stairs
+        )
+
+    def _fresh_bounds(self) -> CoreBounds:
+        own_stairs = {
+            Side.UPPER: self._decomp.beta_stairs[Side.UPPER],
+            Side.LOWER: self._decomp.alpha_stairs[Side.LOWER],
+        }
+        z: dict[Side, list[int]] = {}
+        prefix: dict[Side, list[list[int]]] = {}
+        suffix: dict[Side, list[list[int]]] = {}
+        for side in Side:
+            side_z: list[int] = []
+            side_prefix: list[list[int]] = []
+            side_suffix: list[list[int]] = []
+            for stairs in own_stairs[side]:
+                z_v, pref, suff = vertex_bound_rows(stairs)
+                side_z.append(z_v)
+                side_prefix.append(pref)
+                side_suffix.append(suff)
+            z[side] = side_z
+            prefix[side] = side_prefix
+            suffix[side] = side_suffix
+        return CoreBounds(z=z, prefix=prefix, suffix=suffix)

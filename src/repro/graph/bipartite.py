@@ -23,13 +23,21 @@ class Side(enum.Enum):
     UPPER = "upper"
     LOWER = "lower"
 
-    @property
-    def other(self) -> "Side":
-        """The opposite layer."""
-        return Side.LOWER if self is Side.UPPER else Side.UPPER
+    #: The opposite layer (assigned below; members are singletons, so a
+    #: plain attribute beats a property in the hot repair loops).
+    other: "Side"
+
+    # Members are singletons — the identity hash agrees with enum
+    # equality and avoids a Python-level __hash__ call on every
+    # (side, vertex) dict/set operation in the incremental repair path.
+    __hash__ = object.__hash__
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Side.{self.name}"
+
+
+Side.UPPER.other = Side.LOWER
+Side.LOWER.other = Side.UPPER
 
 
 class Vertex(NamedTuple):
@@ -109,6 +117,29 @@ class BipartiteGraph:
             Side.UPPER: None,
             Side.LOWER: None,
         }
+
+    @classmethod
+    def _from_sorted_rows(
+        cls,
+        upper: tuple[tuple[int, ...], ...],
+        lower: tuple[tuple[int, ...], ...],
+        num_edges: int,
+    ) -> "BipartiteGraph":
+        """Trusted constructor: rows already normalized and mirrored.
+
+        Callers guarantee each row is a sorted duplicate-free tuple of
+        in-range ids and that ``upper``/``lower`` describe the same
+        edge set.  Used by the dynamic-adjacency snapshot path
+        (:mod:`repro.kernel.dynadj`) to skip the O(E) normalization on
+        every update batch.
+        """
+        graph = object.__new__(cls)
+        graph._adj = {Side.UPPER: upper, Side.LOWER: lower}
+        graph._adj_sets = {Side.UPPER: None, Side.LOWER: None}
+        graph._num_edges = num_edges
+        graph._labels = {Side.UPPER: None, Side.LOWER: None}
+        graph._label_to_id = {Side.UPPER: None, Side.LOWER: None}
+        return graph
 
     # ------------------------------------------------------------------
     # Size accessors

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import os
 
+from repro.kernel.dynadj import DEFAULT_CHURN_BUDGET, DynamicPackedAdjacency
 from repro.kernel.packed import (
     PackedLocalGraph,
     iter_bits,
@@ -56,6 +57,8 @@ __all__ = [
     "pack_local",
     "pack_count",
     "iter_bits",
+    "DynamicPackedAdjacency",
+    "DEFAULT_CHURN_BUDGET",
 ]
 
 #: Valid ``kernel=`` selector values; CLI, config and env use these.

@@ -35,14 +35,17 @@ from urllib.parse import parse_qs, urlparse
 from repro.serve.server import (
     _BATCH_FIELDS,
     _QUERY_FIELDS,
+    _UPDATE_FIELDS,
     _parse_flag,
     _parse_float,
     _parse_int,
     _reject_unknown,
     build_query_request,
     parse_batch_item,
+    parse_update_item,
     render_batch_result,
     render_result,
+    render_update_result,
 )
 from repro.serve.service import (
     InvalidRequestError,
@@ -275,7 +278,7 @@ class AsyncPMBCServer:
 
     #: Routes per method, for 404-vs-405 discrimination.
     _GET_ROUTES = ("/healthz", "/metrics", "/stats", "/debug/traces", "/query")
-    _POST_ROUTES = ("/query", "/query_batch")
+    _POST_ROUTES = ("/query", "/query_batch", "/update")
 
     def _unknown(self, method: str, route: str) -> tuple[int, dict, str]:
         """404 for unknown paths, 405 when the path exists elsewhere."""
@@ -336,6 +339,8 @@ class AsyncPMBCServer:
                 )
             if route == "/query_batch":
                 return await self._query_batch(params)
+            if route == "/update":
+                return await self._update(params)
             return await self._query(params)
         return (
             405,
@@ -449,6 +454,31 @@ class AsyncPMBCServer:
         return 200, render_batch_result(graph, requests, result), (
             "application/json"
         )
+
+    async def _update(self, params: dict) -> tuple[int, dict, str]:
+        try:
+            _reject_unknown(params, _UPDATE_FIELDS, "update")
+            updates = params.get("updates")
+            if not isinstance(updates, list) or not updates:
+                raise InvalidRequestError(
+                    "'updates' must be a non-empty JSON array"
+                )
+            ops = [
+                parse_update_item(item, position)
+                for position, item in enumerate(updates)
+            ]
+        except ServeError as exc:
+            return self._error(exc)
+        # update_batch blocks (bounded peeling cascade + tree repairs);
+        # run it off the loop so keep-alive connections stay serviced.
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                None, self.service.update_batch, ops
+            )
+        except ServeError as exc:
+            return self._error(exc)
+        return 200, render_update_result(result), "application/json"
 
 
 def aserve_forever(

@@ -174,6 +174,33 @@ class PMBCClient:
             payload["explain"] = True
         return self._json("/query_batch", payload)
 
+    def update(self, updates) -> dict:
+        """POST ``/update``; returns the decoded update payload.
+
+        ``updates`` is a sequence of ``("insert"|"delete", u, v)``
+        triples or ``{"action", "u", "v"}`` dicts.  The server applies
+        them as one batch — incremental bound repair, scoped cache /
+        index invalidation — and answers with the
+        :class:`~repro.serve.service.UpdateResult` fields
+        (``applied``, ``noops``, ``inserts``, ``deletes``,
+        ``trees_repaired``, ``evicted``, ``cascade``, ``total_ms``).
+        """
+        items: list[dict] = []
+        for update in updates:
+            if isinstance(update, dict):
+                items.append(update)
+            else:
+                try:
+                    action, u, v = update
+                except (TypeError, ValueError):
+                    raise InvalidRequestError(
+                        f"update must be (action, u, v), got {update!r}"
+                    ) from None
+                items.append({"action": action, "u": u, "v": v})
+        if not items:
+            raise InvalidRequestError("provide at least one update")
+        return self._json("/update", {"updates": items})
+
     def query_get(self, **params) -> dict:
         """GET ``/query`` with raw query-string parameters."""
         return self._json("/query?" + urlencode(params))

@@ -10,6 +10,11 @@ Endpoints:
 - ``POST /query_batch`` with ``{"queries": [{...}, ...], "deadline":
   s}`` — answer many queries in one admission; the service groups the
   batch by query vertex so shared two-hop extractions are paid once;
+- ``POST /update`` with ``{"updates": [{"action": "insert", "u": 3,
+  "v": 5}, ...]}`` — apply streaming edge insertions/deletions to the
+  live service: core bounds are repaired incrementally, and only the
+  affected two-hop neighborhoods' cache entries / adaptive trees /
+  index trees are invalidated (see docs/dynamic.md);
 - ``GET /healthz`` — liveness;
 - ``GET /metrics`` — Prometheus-style text exposition;
 - ``GET /stats`` — JSON service snapshot;
@@ -57,9 +62,11 @@ __all__ = [
     "serve_forever",
     "build_query_request",
     "parse_batch_item",
+    "parse_update_item",
     "render_biclique",
     "render_result",
     "render_batch_result",
+    "render_update_result",
     "resolve_vertex",
 ]
 
@@ -70,7 +77,9 @@ __all__ = [
 #: v3 added the sharded-serving response metadata: ``shard`` (which
 #: shard answered) and ``degraded`` (the owner was down and the
 #: request was rerouted) on query and batch payloads.
-SCHEMA_VERSION = 3
+#: v4 added ``POST /update`` (streaming edge updates) and its
+#: :class:`~repro.serve.service.UpdateResult`-shaped response payload.
+SCHEMA_VERSION = 4
 
 _QUERY_FIELDS = frozenset(
     {
@@ -82,6 +91,8 @@ _BATCH_FIELDS = frozenset({"queries", "deadline", "explain"})
 _BATCH_ITEM_FIELDS = frozenset(
     {"side", "vertex", "label", "tau_u", "tau_l", "trace_id", "objective"}
 )
+_UPDATE_FIELDS = frozenset({"updates"})
+_UPDATE_ITEM_FIELDS = frozenset({"action", "u", "v"})
 
 
 def _reject_unknown(params: dict, allowed: frozenset, where: str) -> None:
@@ -247,6 +258,40 @@ def render_result(
     return payload
 
 
+def parse_update_item(item, position: int) -> tuple[str, int, int]:
+    """One validated ``updates[position]`` entry as an op triple."""
+    if not isinstance(item, dict):
+        raise InvalidRequestError(
+            f"updates[{position}] must be a JSON object"
+        )
+    _reject_unknown(item, _UPDATE_ITEM_FIELDS, f"updates[{position}]")
+    missing = sorted(_UPDATE_ITEM_FIELDS - set(item))
+    if missing:
+        raise InvalidRequestError(
+            f"updates[{position}] missing field(s): "
+            f"{', '.join(map(repr, missing))}"
+        )
+    return (item["action"], item["u"], item["v"])
+
+
+def render_update_result(result) -> dict:
+    """The full ``POST /update`` success payload."""
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "applied": result.applied,
+        "noops": result.noops,
+        "inserts": result.inserts,
+        "deletes": result.deletes,
+        "trees_repaired": result.trees_repaired,
+        "evicted": result.evicted,
+        "cascade": result.cascade,
+        "total_ms": result.seconds * 1e3,
+    }
+    if result.shard is not None:
+        payload["shard"] = result.shard
+    return payload
+
+
 def render_batch_result(graph, requests, result) -> dict:
     """The full ``/query_batch`` success payload."""
     payload = {
@@ -358,7 +403,7 @@ class PMBCRequestHandler(BaseHTTPRequestHandler):
         """Route POST requests (/query and /query_batch)."""
         parsed = urlparse(self.path)
         route = parsed.path.rstrip("/")
-        if route not in ("/query", "/query_batch"):
+        if route not in ("/query", "/query_batch", "/update"):
             self._send_json(
                 404,
                 {"error": "NotFound", "detail": f"no route {parsed.path!r}"},
@@ -377,6 +422,8 @@ class PMBCRequestHandler(BaseHTTPRequestHandler):
             return
         if route == "/query_batch":
             self._handle_query_batch(params)
+        elif route == "/update":
+            self._handle_update(params)
         else:
             self._handle_query(params)
 
@@ -467,6 +514,25 @@ class PMBCRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(exc)
             return
         self._send_json(200, render_batch_result(graph, requests, result))
+
+    def _handle_update(self, params: dict) -> None:
+        service = self.service
+        try:
+            _reject_unknown(params, _UPDATE_FIELDS, "update")
+            updates = params.get("updates")
+            if not isinstance(updates, list) or not updates:
+                raise InvalidRequestError(
+                    "'updates' must be a non-empty JSON array"
+                )
+            ops = [
+                parse_update_item(item, position)
+                for position, item in enumerate(updates)
+            ]
+            result = service.update_batch(ops)
+        except ServeError as exc:
+            self._send_error_json(exc)
+            return
+        self._send_json(200, render_update_result(result))
 
 
 class PMBCServer:

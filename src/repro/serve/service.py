@@ -39,6 +39,16 @@ suitable for heavy concurrent traffic:
   constructs hot vertices' search trees off the request path under a
   byte budget, and the resulting trees serve the head of the traffic
   distribution at index speed;
+- **streaming graph updates** (:meth:`PMBCService.update_batch`): edge
+  insertions/deletions applied against the live service with
+  incremental (α,β)-core repair
+  (:class:`~repro.corenum.incremental.IncrementalCoreBounds`), scoped
+  invalidation of engine cache / partial index / mounted index trees
+  via :func:`~repro.core.dynamic.edge_affected_sets`, and a two-phase
+  ordering that keeps concurrent queries sound: inserts repair bounds
+  *before* the graph swap (raised bounds are still valid upper bounds
+  for the old graph), deletions swap *before* repairing (the old
+  bounds stay valid-looser for the shrunk graph);
 - **metrics** for all of the above (see :mod:`repro.serve.metrics`).
 """
 
@@ -48,17 +58,21 @@ import queue
 import threading
 import time
 from concurrent.futures import Future, InvalidStateError
+from contextlib import nullcontext
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 
 from repro.adaptive.builder import BackgroundBuilder
 from repro.adaptive.hotset import HotSetTracker
 from repro.adaptive.partial import MISS, PartialIndex
+from repro.core.construction import build_search_tree
+from repro.core.dynamic import edge_affected_sets
 from repro.core.engine import PMBCQueryEngine
-from repro.core.index import PMBCIndex
+from repro.core.index import PMBCIndex, SearchTree
 from repro.core.online import pmbc_online_star
 from repro.core.query import QueryRequest, pmbc_index_query
 from repro.core.result import Biclique
+from repro.corenum.incremental import IncrementalCoreBounds
 from repro.exec.executor import (
     EXECUTION_KINDS,
     Executor,
@@ -67,7 +81,8 @@ from repro.exec.executor import (
 )
 from repro.exec.tasks import WorkerState
 from repro.graph.bipartite import BipartiteGraph, Side
-from repro.kernel import KERNEL_KINDS
+from repro.kernel import KERNEL_KINDS, is_packed_kernel
+from repro.kernel.dynadj import DynamicPackedAdjacency
 from repro.objectives import get_objective, objective_kinds
 from repro.obs.metrics_bridge import publish_trace, register_search_metrics
 from repro.obs.ring import TraceRing
@@ -80,6 +95,7 @@ __all__ = [
     "ServiceConfig",
     "QueryResult",
     "BatchResult",
+    "UpdateResult",
     "Submission",
     "ServeError",
     "InvalidRequestError",
@@ -284,6 +300,21 @@ class BatchResult:
         return len(self.bicliques)
 
 
+@dataclass(frozen=True)
+class UpdateResult:
+    """The outcome of one applied update batch."""
+
+    applied: int            # effective edge mutations (net of collapses)
+    noops: int              # requested updates that changed nothing
+    inserts: int            # effective insertions
+    deletes: int            # effective deletions
+    trees_repaired: int     # mounted-index trees rebuilt in place
+    evicted: int            # partial-index trees dropped
+    cascade: int            # vertices touched by bound-repair cascades
+    seconds: float          # wall time of the whole batch
+    shard: int | None = None    # applying shard (sharded deployments)
+
+
 @dataclass
 class _Request:
     request: QueryRequest
@@ -479,6 +510,10 @@ class _OnlineBackend:
         self._bounds = bounds
         self._kernel = kernel
 
+    def update_graph(self, graph: BipartiteGraph) -> None:
+        """Swap onto a post-update snapshot (bounds repaired in place)."""
+        self._graph = graph
+
     def query(self, request: QueryRequest) -> Biclique | None:
         return pmbc_online_star(
             self._graph, request, bounds=self._bounds, kernel=self._kernel
@@ -569,18 +604,33 @@ class PMBCService:
                 ),
             )
         self._backends: list[object] = []
+        self._index_backend: _IndexBackend | None = None
         if index is not None:
-            self._backends.append(_IndexBackend(index))
-        self._backends.append(_ExecBackend(self._executor))
+            self._index_backend = _IndexBackend(index)
+            self._backends.append(self._index_backend)
+        self._exec_backend = _ExecBackend(self._executor)
+        self._backends.append(self._exec_backend)
         if self._executor.kind == "process":
             # Keep the in-process engine as a degradation target in
             # case the pool breaks mid-flight.
             self._backends.append(_EngineBackend(self.engine))
-        self._backends.append(
-            _OnlineBackend(
-                graph, bounds=self.engine.bounds, kernel=self.engine.kernel
-            )
+        self._online_backend = _OnlineBackend(
+            graph, bounds=self.engine.bounds, kernel=self.engine.kernel
         )
+        self._backends.append(self._online_backend)
+
+        # Streaming-update state, built lazily on the first update (the
+        # incremental maintainer re-peels the sweep family once, which
+        # costs one compute_bounds; read-only deployments never pay it).
+        self._updater: IncrementalCoreBounds | None = None
+        self._dynadj: DynamicPackedAdjacency | None = None
+        self._mirror: dict[Side, list[set[int]]] | None = None
+        self._update_lock = threading.Lock()
+        self._exec_degraded = False
+        self._fallback_executor: ThreadBackend | None = None
+        #: ``(side, vertex)`` keys the most recent update batch affected
+        #: (the shard router fans them to the other shards' warm state).
+        self.last_update_affected: frozenset[tuple[Side, int]] = frozenset()
 
         self._prebuilt_coverage: dict | None = None
         if index is not None:
@@ -718,6 +768,8 @@ class PMBCService:
             # Closing a process pool waits for in-flight work, so only
             # a waiting close may do it.
             self._executor.close()
+            if self._fallback_executor is not None:
+                self._fallback_executor.close()
 
     def _drain_queue(self) -> None:
         while True:
@@ -788,6 +840,31 @@ class PMBCService:
         )
         self._batch_size = m.histogram(
             "pmbc_batch_size", "Requests per admitted batch."
+        )
+        self._updates = m.counter(
+            "pmbc_updates_total", "Edge updates by kind (insert/delete/noop)."
+        )
+        self._update_batches = m.counter(
+            "pmbc_update_batches_total", "Applied update batches."
+        )
+        self._update_cascade = m.counter(
+            "pmbc_update_cascade_vertices_total",
+            "Vertices touched by incremental bound-repair cascades.",
+        )
+        self._update_trees = m.counter(
+            "pmbc_update_trees_repaired_total",
+            "Mounted-index search trees rebuilt by updates.",
+        )
+        self._update_repacks = m.counter(
+            "pmbc_update_repacks_total",
+            "Full re-packs of the dynamic packed adjacency.",
+        )
+        self._update_evictions = m.counter(
+            "pmbc_update_partial_evictions_total",
+            "Partial-index trees evicted by updates.",
+        )
+        self._update_latency = m.histogram(
+            "pmbc_update_batch_seconds", "Wall time per applied update batch."
         )
         depth = m.gauge("pmbc_queue_depth", "Requests waiting in the queue.")
         depth.set_function(self._queue.qsize)
@@ -1402,6 +1479,370 @@ class PMBCService:
         return summary
 
     # ------------------------------------------------------------------
+    # streaming updates
+
+    def _ensure_updater(self) -> None:
+        """Build the lazy update state (caller holds ``_update_lock``).
+
+        Three mirrors, each created only when its consumer exists: the
+        incremental bounds maintainer (when core bounds are on), the
+        patched packed adjacency (when the kernel is packed — it doubles
+        as the adjacency source of truth), and a plain set mirror
+        otherwise (so presence checks and snapshots never rescan an
+        immutable graph).
+        """
+        if self._updater is None and self.config.use_core_bounds:
+            self._updater = IncrementalCoreBounds(
+                self.graph, bounds=self.engine.bounds
+            )
+        if self._dynadj is None and is_packed_kernel(self.engine.kernel):
+            self._dynadj = DynamicPackedAdjacency(self.graph)
+        if self._dynadj is None and self._mirror is None:
+            self._mirror = {
+                side: [
+                    set(self.graph.neighbors(side, x))
+                    for x in range(self.graph.num_vertices_on(side))
+                ]
+                for side in Side
+            }
+
+    # Live-adjacency helpers: the packed adjacency is the source of
+    # truth when present, the plain set mirror otherwise.
+
+    def _adj_has_edge(self, u: int, v: int) -> bool:
+        if self._dynadj is not None:
+            return self._dynadj.has_edge(u, v)
+        rows = self._mirror[Side.UPPER]
+        return u < len(rows) and v in rows[u]
+
+    def _adj_neighbors(self, side: Side, x: int) -> set[int]:
+        if self._dynadj is not None:
+            return self._dynadj.neighbors(side, x)
+        return self._mirror[side][x]
+
+    def _adj_grow(self, side: Side, x: int) -> None:
+        if self._dynadj is not None:
+            self._dynadj.ensure_vertex(side, x)
+        else:
+            rows = self._mirror[side]
+            while x >= len(rows):
+                rows.append(set())
+        if self._updater is not None:
+            self._updater.ensure_vertex(side, x)
+
+    def _adj_apply(self, action: str, u: int, v: int) -> None:
+        if self._dynadj is not None:
+            if action == "insert":
+                self._dynadj.insert_edge(u, v)
+            else:
+                self._dynadj.delete_edge(u, v)
+            return
+        if action == "insert":
+            self._mirror[Side.UPPER][u].add(v)
+            self._mirror[Side.LOWER][v].add(u)
+        else:
+            self._mirror[Side.UPPER][u].discard(v)
+            self._mirror[Side.LOWER][v].discard(u)
+
+    def _adj_snapshot(self) -> BipartiteGraph:
+        if self._dynadj is not None:
+            return self._dynadj.snapshot()
+        return BipartiteGraph(
+            [sorted(ns) for ns in self._mirror[Side.UPPER]],
+            num_lower=len(self._mirror[Side.LOWER]),
+        )
+
+    def _coerce_updates(self, updates) -> list[tuple[str, int, int]]:
+        ops: list[tuple[str, int, int]] = []
+        for raw in updates:
+            if isinstance(raw, dict):
+                try:
+                    action, u, v = raw["action"], raw["u"], raw["v"]
+                except KeyError as exc:
+                    raise InvalidRequestError(
+                        f"update missing field {exc.args[0]!r}"
+                    ) from None
+            else:
+                try:
+                    action, u, v = raw
+                except (TypeError, ValueError):
+                    raise InvalidRequestError(
+                        f"update must be (action, u, v), got {raw!r}"
+                    ) from None
+            if action not in ("insert", "delete"):
+                raise InvalidRequestError(
+                    f"update action must be 'insert' or 'delete', "
+                    f"got {action!r}"
+                )
+            if (
+                not isinstance(u, int)
+                or not isinstance(v, int)
+                or isinstance(u, bool)
+                or isinstance(v, bool)
+                or u < 0
+                or v < 0
+            ):
+                raise InvalidRequestError(
+                    f"vertex ids must be non-negative ints: ({u!r}, {v!r})"
+                )
+            ops.append((action, u, v))
+        if not ops:
+            raise InvalidRequestError("update batch must contain >= 1 edge")
+        return ops
+
+    def update_batch(self, updates) -> UpdateResult:
+        """Apply edge updates to the live service, incrementally.
+
+        ``updates`` is a sequence of ``("insert"|"delete", u, v)``
+        triples (or ``{"action", "u", "v"}`` dicts).  Repeated updates
+        to the same edge collapse to their net effect; net no-ops
+        (inserting a present edge, deleting an absent one) are free and
+        only counted.  Everything is scoped by
+        :func:`~repro.core.dynamic.edge_affected_sets` — bounds are
+        repaired by a bounded peeling cascade, only affected engine
+        cache entries / partial trees / mounted index trees are
+        invalidated — so steady-state cost is proportional to the
+        touched two-hop neighborhoods, not the graph.
+
+        Concurrent queries stay sound throughout: insertions repair the
+        shared bounds *before* the graph swap (post-insert bounds are
+        ≥ the old graph's exact bounds, hence still valid upper
+        bounds), deletions repair *after* it (pre-delete bounds are ≥
+        the shrunk graph's exact bounds).  New vertex ids extend the
+        layers.  Under ``execution="process"`` the pool — whose workers
+        inherited the pre-update graph at spawn — is degraded out of
+        the chain on the first update and serving falls back to the
+        in-process engine.
+        """
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        start = time.monotonic()
+        ops = self._coerce_updates(updates)
+        with self._update_lock:
+            self._ensure_updater()
+            final: dict[tuple[int, int], str] = {}
+            for action, u, v in ops:
+                final[(u, v)] = action
+            inserts: list[tuple[int, int]] = []
+            deletes: list[tuple[int, int]] = []
+            for (u, v), action in final.items():
+                present = self._adj_has_edge(u, v)
+                if action == "insert" and not present:
+                    inserts.append((u, v))
+                elif action == "delete" and present:
+                    deletes.append((u, v))
+            applied = len(inserts) + len(deletes)
+            noops = len(ops) - applied
+            if not applied:
+                seconds = time.monotonic() - start
+                self._updates.inc(noops, kind="noop")
+                self._update_batches.inc()
+                self._update_latency.observe(seconds)
+                return UpdateResult(
+                    applied=0,
+                    noops=noops,
+                    inserts=0,
+                    deletes=0,
+                    trees_repaired=0,
+                    evicted=0,
+                    cascade=0,
+                    seconds=seconds,
+                )
+            cascade = 0
+            affected: set[tuple[Side, int]] = set()
+            repacks_before = (
+                self._dynadj.repack_count if self._dynadj is not None else 0
+            )
+            # Phase 1 — insertions: repair bounds, then patch adjacency.
+            # Affected sets read the *post-insert* neighborhoods.  The
+            # stairs/bounds refresh is deferred across the whole insert
+            # phase (overlapping neighborhoods refresh once) and flushed
+            # by the `with` exit — before the snapshot swap publishes
+            # the new graph, keeping the two-phase ordering sound.
+            with (
+                self._updater.defer_refresh()
+                if self._updater is not None
+                else nullcontext()
+            ):
+                for u, v in inserts:
+                    self._adj_grow(Side.UPPER, u)
+                    self._adj_grow(Side.LOWER, v)
+                    if self._updater is not None:
+                        self._updater.insert_edge(u, v)
+                        cascade += self._updater.last_repair.cascade
+                    self._adj_apply("insert", u, v)
+                    up, low = edge_affected_sets(
+                        self._adj_neighbors(Side.UPPER, u),
+                        self._adj_neighbors(Side.LOWER, v),
+                        u,
+                        v,
+                    )
+                    affected.update((Side.UPPER, x) for x in up)
+                    affected.update((Side.LOWER, x) for x in low)
+            # Deletions: affected sets read the *pre-delete*
+            # neighborhoods, then the adjacency is patched (the swap
+            # snapshot must already exclude these edges).
+            for u, v in deletes:
+                up, low = edge_affected_sets(
+                    self._adj_neighbors(Side.UPPER, u),
+                    self._adj_neighbors(Side.LOWER, v),
+                    u,
+                    v,
+                )
+                affected.update((Side.UPPER, x) for x in up)
+                affected.update((Side.LOWER, x) for x in low)
+                self._adj_apply("delete", u, v)
+            new_graph = self._adj_snapshot()
+            self._swap_graph(new_graph, affected)
+            # Phase 2 — deletions repair bounds after the swap (the
+            # refresh defers across the phase; mid-phase bounds stay
+            # valid upper bounds for the already-shrunk graph).
+            if self._updater is not None:
+                with self._updater.defer_refresh():
+                    for u, v in deletes:
+                        self._updater.delete_edge(u, v)
+                        cascade += self._updater.last_repair.cascade
+            trees = self._repair_index(affected)
+            evicted = self._evict_partial(affected)
+            self.last_update_affected = frozenset(affected)
+            repacks = (
+                self._dynadj.repack_count - repacks_before
+                if self._dynadj is not None
+                else 0
+            )
+        seconds = time.monotonic() - start
+        if inserts:
+            self._updates.inc(len(inserts), kind="insert")
+        if deletes:
+            self._updates.inc(len(deletes), kind="delete")
+        if noops:
+            self._updates.inc(noops, kind="noop")
+        self._update_batches.inc()
+        self._update_cascade.inc(cascade)
+        self._update_trees.inc(trees)
+        if repacks:
+            self._update_repacks.inc(repacks)
+        if evicted:
+            self._update_evictions.inc(evicted)
+        self._update_latency.observe(seconds)
+        return UpdateResult(
+            applied=applied,
+            noops=noops,
+            inserts=len(inserts),
+            deletes=len(deletes),
+            trees_repaired=trees,
+            evicted=evicted,
+            cascade=cascade,
+            seconds=seconds,
+        )
+
+    def adopt_update(
+        self, graph: BipartiteGraph, affected
+    ) -> int:
+        """Adopt an update another shard already applied.
+
+        Sharded deployments share one bounds object, one mounted index
+        and one update state across shards
+        (:meth:`repro.shard.ShardedService.update_batch`), so the
+        applying shard has already repaired them; every *other* shard
+        only swaps its serving graph and drops its own warm state for
+        the affected keys.  Returns the number of partial-index trees
+        evicted here.
+        """
+        with self._update_lock:
+            keys = set(affected)
+            self._swap_graph(graph, keys)
+            evicted = self._evict_partial(keys)
+        if evicted:
+            self._update_evictions.inc(evicted)
+        return evicted
+
+    def _swap_graph(
+        self, graph: BipartiteGraph, affected: set[tuple[Side, int]]
+    ) -> None:
+        """Point every serving component at the post-update snapshot."""
+        self.graph = graph
+        self.engine.update_graph(graph, affected)
+        self._online_backend.update_graph(graph)
+        if isinstance(self._executor, ThreadBackend):
+            # Worker tasks (queries, adaptive builds) read state.graph;
+            # the bounds object is repaired in place, never swapped.
+            self._executor.state.graph = graph
+        elif not self._exec_degraded:
+            # Process-pool workers inherited the pre-update graph when
+            # they were spawned; drop the pool from the chain for good
+            # and serve from the in-process engine (already a fallback
+            # backend in process mode).
+            if self._exec_backend in self._backends:
+                self._backends.remove(self._exec_backend)
+            self._exec_degraded = True
+            if self.builder is not None:
+                self._fallback_executor = ThreadBackend(
+                    graph,
+                    num_workers=1,
+                    state=WorkerState(
+                        graph=graph,
+                        bounds=self.engine.bounds,
+                        cache_size=self.config.cache_size,
+                        kernel=self.engine.kernel,
+                        _engine=self.engine,
+                    ),
+                )
+        if self._fallback_executor is not None:
+            self._fallback_executor.state.graph = graph
+        if self.builder is not None:
+            self.builder.update_graph(graph, executor=self._fallback_executor)
+
+    def _repair_index(self, affected: set[tuple[Side, int]]) -> int:
+        """Rebuild the mounted index's affected trees in place."""
+        if self._index_backend is None:
+            return 0
+        index = self._index_backend._index
+        for side, count in (
+            (Side.UPPER, self.graph.num_upper),
+            (Side.LOWER, self.graph.num_lower),
+        ):
+            trees = index.trees.setdefault(side, [])
+            while len(trees) < count:
+                trees.append(SearchTree())
+        index.num_upper = self.graph.num_upper
+        index.num_lower = self.graph.num_lower
+        if self._dynadj is not None:
+            source, extractor = self._dynadj, self._dynadj.extract
+        else:
+            source, extractor = self.graph, None
+        bounds = self.engine.bounds
+        count = 0
+        for side, x in affected:
+            trees = index.trees[side]
+            if x >= len(trees):
+                continue
+            trees[x] = build_search_tree(
+                source,
+                side,
+                x,
+                index.array,
+                bounds,
+                None,
+                kernel=self.engine.kernel,
+                extractor=extractor,
+            )
+            count += 1
+        return count
+
+    def _evict_partial(self, affected) -> int:
+        """Drop affected adaptive trees; the builder re-warms hot ones."""
+        if self.partial_index is None:
+            return 0
+        evicted = 0
+        for side, x in affected:
+            if self.partial_index.evict(side, x):
+                evicted += 1
+        if evicted and self.builder is not None:
+            self.builder.kick()
+        return evicted
+
+    # ------------------------------------------------------------------
     # introspection
 
     @property
@@ -1568,4 +2009,21 @@ class PMBCService:
             },
             "index_coverage": self.index_coverage(),
             "adaptive": adaptive,
+            "updates": {
+                "batches": int(self._update_batches.total()),
+                "inserts": int(self._updates.value(kind="insert")),
+                "deletes": int(self._updates.value(kind="delete")),
+                "noops": int(self._updates.value(kind="noop")),
+                "cascade_vertices": int(self._update_cascade.total()),
+                "trees_repaired": int(self._update_trees.total()),
+                "repacks": int(self._update_repacks.total()),
+                "partial_evictions": int(self._update_evictions.total()),
+                "exec_degraded": self._exec_degraded,
+                "bounds": self._updater.stats()
+                if self._updater is not None
+                else None,
+                "adjacency": self._dynadj.stats()
+                if self._dynadj is not None
+                else None,
+            },
         }

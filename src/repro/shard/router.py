@@ -53,6 +53,7 @@ from repro.serve.service import (
     ServiceClosedError,
     ServiceConfig,
     Submission,
+    UpdateResult,
 )
 from repro.shard.partition import ShardMap
 
@@ -168,6 +169,8 @@ class ShardedService:
         self.traces = _CombinedTraceRing(self._workers)
         self._closed = False
         self._lifecycle_lock = threading.Lock()
+        self._update_lock = threading.Lock()
+        self._update_state_shared = False
         self._started_at = time.monotonic()
         self._init_metrics()
 
@@ -204,6 +207,18 @@ class ShardedService:
         self._shard_latency = m.histogram(
             "pmbc_shard_request_latency_seconds",
             "End-to-end latency of router-served requests.",
+        )
+        self._shard_updates = m.counter(
+            "pmbc_shard_updates_total",
+            "Effective edge updates, by applying shard.",
+        )
+        self._shard_update_batches = m.counter(
+            "pmbc_shard_update_batches_total",
+            "Update batches routed by the router.",
+        )
+        self._shard_update_cross = m.counter(
+            "pmbc_shard_update_cross_total",
+            "Updated edges whose endpoints are owned by different shards.",
         )
         m.gauge(
             "pmbc_shards", "Configured shard count."
@@ -549,6 +564,117 @@ class ShardedService:
         return _settle_blocking(submission)
 
     # ------------------------------------------------------------------
+    # streaming updates
+
+    def _ensure_shared_update_state(self) -> None:
+        """Make every shard share ONE update state (caller holds lock).
+
+        The bounds object is already shared (computed once in the
+        constructor), so per-shard incremental maintainers would
+        corrupt it: a maintainer's internal sweep family must observe
+        *every* applied update, not just the ones routed to its shard.
+        Shard 0's service builds the state lazily; the same maintainer
+        / packed adjacency / mirror / lock objects are then attached to
+        every other shard, so whichever shard applies a batch advances
+        the one true state.
+        """
+        if self._update_state_shared:
+            return
+        first = self._workers[0].service
+        with first._update_lock:
+            first._ensure_updater()
+        for worker in self._workers[1:]:
+            service = worker.service
+            service._updater = first._updater
+            service._dynadj = first._dynadj
+            service._mirror = first._mirror
+            service._update_lock = first._update_lock
+        self._update_state_shared = True
+
+    def _owner_or_default(self, side: Side, vertex: int) -> int:
+        """The owning shard, or shard 0 for ids beyond the shard map.
+
+        Growth inserts reference vertex ids the (construction-time)
+        shard map has never seen; they are applied through shard 0
+        until a re-shard.
+        """
+        try:
+            return self.shard_map.shard_of(side, vertex)
+        except ValueError:
+            return 0
+
+    def update_batch(self, updates) -> UpdateResult:
+        """Apply edge updates across the sharded deployment.
+
+        Each update is routed to the shard owning its upper endpoint
+        (cross-shard edges — endpoints owned by different shards — are
+        counted in ``pmbc_shard_update_cross_total``; their warm-state
+        invalidation reaches both owners because *every* shard adopts
+        each applied group).  The applying shard repairs the shared
+        bounds, mounted index and packed adjacency exactly once
+        (:meth:`PMBCService.update_batch`); the remaining shards then
+        :meth:`~PMBCService.adopt_update` the new snapshot — a graph
+        swap plus scoped eviction of their own engine-cache and
+        partial-index entries, with no repeated repair work.  Returns
+        one merged :class:`UpdateResult` (``shard`` set when a single
+        shard applied the whole batch).
+        """
+        if self._closed:
+            raise ServiceClosedError("sharded service is closed")
+        start = time.monotonic()
+        ops = self._workers[0].service._coerce_updates(updates)
+        groups: dict[int, list[tuple[str, int, int]]] = {}
+        cross = 0
+        for action, u, v in ops:
+            owner = self._owner_or_default(Side.UPPER, u)
+            if owner != self._owner_or_default(Side.LOWER, v):
+                cross += 1
+            groups.setdefault(owner, []).append((action, u, v))
+        applied = noops = inserts = deletes = 0
+        trees = evicted = cascade = 0
+        applied_shards: set[int] = set()
+        with self._update_lock:
+            self._ensure_shared_update_state()
+            for shard_id in sorted(groups):
+                worker, __ = self._healthy_worker(shard_id)
+                result = worker.service.update_batch(groups[shard_id])
+                applied += result.applied
+                noops += result.noops
+                inserts += result.inserts
+                deletes += result.deletes
+                trees += result.trees_repaired
+                evicted += result.evicted
+                cascade += result.cascade
+                if result.applied:
+                    applied_shards.add(worker.shard_id)
+                    self._shard_updates.inc(
+                        result.applied, shard=str(worker.shard_id)
+                    )
+                    graph = worker.service.graph
+                    affected = worker.service.last_update_affected
+                    for other in self._workers:
+                        if other is worker:
+                            continue
+                        evicted += other.service.adopt_update(
+                            graph, affected
+                        )
+                    self.graph = graph
+        self._shard_update_batches.inc()
+        if cross:
+            self._shard_update_cross.inc(cross)
+        return UpdateResult(
+            applied=applied,
+            noops=noops,
+            inserts=inserts,
+            deletes=deletes,
+            trees_repaired=trees,
+            evicted=evicted,
+            cascade=cascade,
+            seconds=time.monotonic() - start,
+            shard=applied_shards.pop() if len(applied_shards) == 1 else None,
+        )
+
+    # ------------------------------------------------------------------
     # introspection
 
     def stats(self) -> dict:
@@ -568,6 +694,18 @@ class ShardedService:
                 "degraded": self._shard_degraded.total(),
                 "batches": self._shard_batches.total(),
                 "batch_splits_mean": self._batch_splits.mean(),
+                "updates": {
+                    "batches": int(self._shard_update_batches.total()),
+                    "applied": {
+                        str(w.shard_id): int(
+                            self._shard_updates.value(shard=str(w.shard_id))
+                        )
+                        for w in self._workers
+                    },
+                    "cross_shard_edges": int(
+                        self._shard_update_cross.total()
+                    ),
+                },
             },
             "latency_seconds": {
                 "count": self._shard_latency.count,

@@ -1,0 +1,96 @@
+"""Unit tests for the temporal-replay update-stream generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import temporal_replay
+from repro.graph.bipartite import Side
+from repro.graph.generators import random_bipartite
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_bipartite(20, 16, 0.2, seed=9)
+
+
+def test_deterministic_per_seed(graph):
+    a = temporal_replay(graph, num_updates=120, seed=4)
+    b = temporal_replay(graph, num_updates=120, seed=4)
+    c = temporal_replay(graph, num_updates=120, seed=5)
+    assert a == b
+    assert a != c
+
+
+def test_events_are_uniform_4tuples(graph):
+    events = temporal_replay(graph, num_updates=80, query_every=10, seed=1)
+    for position, event in enumerate(events):
+        t, kind, a, b = event
+        assert t == position
+        if kind == "query":
+            assert a in (Side.UPPER, Side.LOWER)
+            assert isinstance(b, int)
+        else:
+            assert kind in ("insert", "delete")
+
+
+def test_stream_is_replayable(graph):
+    """Deletes always hit live edges; inserts always absent edges."""
+    events = temporal_replay(
+        graph, num_updates=300, delete_fraction=0.5, seed=2
+    )
+    live = set(graph.edges())
+    updates = 0
+    for __, kind, u, v in events:
+        if kind == "query":
+            continue
+        updates += 1
+        if kind == "insert":
+            assert (u, v) not in live
+            live.add((u, v))
+        else:
+            assert (u, v) in live
+            live.discard((u, v))
+    assert updates == 300
+
+
+def test_queries_interleaved_at_cadence(graph):
+    events = temporal_replay(graph, num_updates=100, query_every=20, seed=3)
+    seen = 0
+    queries = 0
+    for __, kind, *_ in events:
+        if kind == "query":
+            queries += 1
+            assert seen % 20 == 0
+        else:
+            seen += 1
+    assert queries == 100 // 20
+
+
+def test_no_queries_by_default(graph):
+    events = temporal_replay(graph, num_updates=50, seed=1)
+    assert all(kind != "query" for __, kind, *_ in events)
+
+
+def test_pure_rewire_stays_in_original_edge_set(graph):
+    """rewire_fraction=1.0 only ever re-inserts deleted edges."""
+    original = set(graph.edges())
+    events = temporal_replay(
+        graph,
+        num_updates=400,
+        delete_fraction=0.5,
+        rewire_fraction=1.0,
+        seed=8,
+    )
+    for __, kind, u, v in events:
+        if kind == "insert":
+            assert (u, v) in original
+
+
+def test_validation_errors(graph):
+    with pytest.raises(ValueError):
+        temporal_replay(graph, num_updates=0)
+    with pytest.raises(ValueError):
+        temporal_replay(graph, num_updates=10, delete_fraction=1.5)
+    with pytest.raises(ValueError):
+        temporal_replay(graph, num_updates=10, rewire_fraction=-0.1)

@@ -65,12 +65,15 @@ def test_delete_edge_updates_answers(paper_graph):
     _assert_matches_fresh_build(dynamic)
 
 
-def test_delete_missing_edge_raises(paper_graph):
+def test_delete_missing_edge_is_free_noop(paper_graph):
     dynamic = DynamicPMBCIndex(paper_graph)
     u1 = paper_graph.vertex_by_label(Side.UPPER, "u1")
     v5 = paper_graph.vertex_by_label(Side.LOWER, "v5")
-    with pytest.raises(KeyError):
-        dynamic.delete_edge(u1, v5)
+    before = dynamic.trees_rebuilt
+    assert dynamic.delete_edge(u1, v5) == 0
+    assert dynamic.trees_rebuilt == before
+    assert dynamic.noop_updates == 1
+    _assert_matches_fresh_build(dynamic)
 
 
 def test_insert_extends_layers(paper_graph):
@@ -208,35 +211,45 @@ def test_insert_vertex(paper_graph):
     assert dynamic.query(Side.LOWER, lonely, 1, 1) is None
 
 
-def test_apply_updates_validation(paper_graph):
+def test_apply_updates_noops_are_free_and_counted(paper_graph):
     dynamic = DynamicPMBCIndex(paper_graph)
-    with pytest.raises(KeyError):
-        dynamic.apply_updates([("insert", 0, 0)])  # already present
-    with pytest.raises(KeyError):
-        dynamic.apply_updates([("delete", 0, 5)])  # absent
+    before = dynamic.trees_rebuilt
+    # Inserting a present edge and deleting an absent one are no-ops:
+    # no bounds work, no rebuilds, just a counter bump.
+    rebuilt = dynamic.apply_updates([("insert", 0, 0), ("delete", 0, 5)])
+    assert rebuilt == 0
+    assert dynamic.trees_rebuilt == before
+    assert dynamic.noop_updates == 2
+    if dynamic._inc is not None:
+        assert dynamic._inc.updates == 0
     with pytest.raises(ValueError):
         dynamic.apply_updates([("upsert", 0, 0)])
+    _assert_matches_fresh_build(dynamic)
 
 
-def test_deletion_keeps_bounds_insertion_invalidates(paper_graph, monkeypatch):
+def test_bounds_repaired_incrementally_never_recomputed(
+    paper_graph, monkeypatch
+):
+    import repro.corenum.bounds as bounds_module
     from repro.core import dynamic as dynamic_module
 
     calls = []
-    real = dynamic_module.compute_bounds
+    real = bounds_module.compute_bounds
 
-    def counting(graph):
+    def counting(graph, decomposition=None):
         calls.append(1)
-        return real(graph)
+        return real(graph, decomposition)
 
-    monkeypatch.setattr(dynamic_module, "compute_bounds", counting)
+    monkeypatch.setattr(bounds_module, "compute_bounds", counting)
+    assert not hasattr(dynamic_module, "compute_bounds")
     dynamic = DynamicPMBCIndex(paper_graph)
-    assert len(calls) == 1  # initial build
     dynamic.delete_edge(0, 0)
-    # Stale-but-valid bounds are retained after deletions: no recompute.
-    assert len(calls) == 1
     dynamic.insert_edge(0, 0)
-    # Insertions can grow cores, so bounds must be recomputed.
-    assert len(calls) == 2
+    # Both directions repair the live bounds in place: compute_bounds
+    # never runs, yet the bounds stay exactly equal to a recompute.
+    assert calls == []
+    assert dynamic._inc.updates == 2
+    dynamic._inc.verify()
     _assert_matches_fresh_build(dynamic)
 
 

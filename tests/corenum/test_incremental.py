@@ -1,0 +1,135 @@
+"""Unit tests for incremental (α,β)-core bound maintenance."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.corenum.bounds import compute_bounds
+from repro.corenum.incremental import IncrementalCoreBounds
+from repro.graph.bipartite import Side
+from repro.graph.generators import power_law_bipartite, random_bipartite
+
+
+def _churn(inc, graph, steps, seed, record=None):
+    rng = random.Random(seed)
+    live = set(graph.edges())
+    for __ in range(steps):
+        if live and rng.random() < 0.45:
+            u, v = rng.choice(sorted(live))
+            inc.delete_edge(u, v)
+            live.discard((u, v))
+        else:
+            u = rng.randrange(graph.num_upper)
+            v = rng.randrange(graph.num_lower)
+            if (u, v) in live:
+                continue
+            inc.insert_edge(u, v)
+            live.add((u, v))
+        if record is not None:
+            record.append(None)
+    return live
+
+
+@pytest.mark.parametrize(
+    "graph",
+    [
+        random_bipartite(14, 11, 0.3, seed=1),
+        power_law_bipartite(24, 18, 90, 1.6, seed=2),
+    ],
+    ids=["random", "power-law"],
+)
+def test_churn_matches_recompute(graph):
+    inc = IncrementalCoreBounds(graph)
+    _churn(inc, graph, 200, seed=6)
+    inc.verify()
+    exact = compute_bounds(inc.snapshot())
+    for side in Side:
+        assert inc.bounds.z[side] == exact.z[side]
+        assert inc.bounds.prefix[side] == exact.prefix[side]
+        assert inc.bounds.suffix[side] == exact.suffix[side]
+
+
+def test_bounds_object_is_mutated_in_place():
+    graph = random_bipartite(10, 8, 0.3, seed=3)
+    inc = IncrementalCoreBounds(graph)
+    bounds = inc.bounds
+    _churn(inc, graph, 60, seed=4)
+    assert inc.bounds is bounds
+
+
+def test_noops_are_free_and_counted():
+    graph = random_bipartite(10, 8, 0.4, seed=5)
+    inc = IncrementalCoreBounds(graph)
+    u, v = next(iter(graph.edges()))
+    absent = next(
+        (a, b)
+        for a in range(graph.num_upper)
+        for b in range(graph.num_lower)
+        if not graph.has_edge(a, b)
+    )
+    before_z = {side: list(inc.bounds.z[side]) for side in Side}
+    stats = inc.insert_edge(u, v)
+    assert stats.cascade == 0 and stats.sweeps_repaired == 0
+    stats = inc.delete_edge(*absent)
+    assert stats.cascade == 0 and stats.sweeps_repaired == 0
+    assert inc.noop_updates == 2
+    for side in Side:
+        assert inc.bounds.z[side] == before_z[side]
+
+
+def test_delete_then_reinsert_restores_bounds():
+    graph = random_bipartite(12, 9, 0.3, seed=7)
+    inc = IncrementalCoreBounds(graph)
+    want = {side: list(inc.bounds.z[side]) for side in Side}
+    u, v = next(iter(graph.edges()))
+    inc.delete_edge(u, v)
+    inc.insert_edge(u, v)
+    for side in Side:
+        assert inc.bounds.z[side] == want[side]
+
+
+def test_defer_refresh_equals_eager():
+    graph = random_bipartite(14, 11, 0.3, seed=8)
+    eager = IncrementalCoreBounds(graph)
+    deferred = IncrementalCoreBounds(graph)
+    ops = [("delete", *edge) for edge in list(graph.edges())[:5]]
+    ops += [("insert", *ops[0][1:]), ("insert", *ops[2][1:])]
+    for action, u, v in ops:
+        getattr(eager, f"{action}_edge")(u, v)
+    with deferred.defer_refresh():
+        for action, u, v in ops:
+            getattr(deferred, f"{action}_edge")(u, v)
+    for side in Side:
+        assert deferred.bounds.z[side] == eager.bounds.z[side]
+        assert deferred.bounds.prefix[side] == eager.bounds.prefix[side]
+        assert deferred.bounds.suffix[side] == eager.bounds.suffix[side]
+    deferred.verify()
+
+
+def test_defer_refresh_is_not_reentrant():
+    graph = random_bipartite(6, 5, 0.4, seed=9)
+    inc = IncrementalCoreBounds(graph)
+    with inc.defer_refresh():
+        with pytest.raises(RuntimeError):
+            with inc.defer_refresh():
+                pass
+
+
+def test_cascade_cap_fallback_stays_correct():
+    graph = power_law_bipartite(20, 16, 80, 1.5, seed=10)
+    inc = IncrementalCoreBounds(graph, cascade_cap=1)
+    _churn(inc, graph, 80, seed=11)
+    assert inc.sweep_fallbacks > 0
+    inc.verify()
+
+
+def test_growth_extends_layers():
+    graph = random_bipartite(8, 6, 0.3, seed=12)
+    inc = IncrementalCoreBounds(graph)
+    inc.insert_edge(graph.num_upper + 1, graph.num_lower + 2)
+    snap = inc.snapshot()
+    assert snap.num_upper == graph.num_upper + 2
+    assert snap.num_lower == graph.num_lower + 3
+    inc.verify()

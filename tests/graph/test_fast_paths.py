@@ -1,0 +1,58 @@
+"""Fast-path invariants on the core graph types.
+
+The incremental repair loops rely on two :class:`Side` fast paths
+(identity hash, precomputed ``.other``) and the dynamic-adjacency
+snapshot path relies on the trusted ``_from_sorted_rows`` constructor;
+these tests pin their semantics.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.graph.bipartite import BipartiteGraph, Side
+from repro.graph.generators import random_bipartite
+
+
+def test_side_other_is_precomputed():
+    assert Side.UPPER.other is Side.LOWER
+    assert Side.LOWER.other is Side.UPPER
+
+
+def test_side_hash_is_identity_and_stable():
+    assert hash(Side.UPPER) == object.__hash__(Side.UPPER)
+    assert {Side.UPPER: 1, Side.LOWER: 2}[Side.UPPER] == 1
+    assert len({Side.UPPER, Side.UPPER, Side.LOWER}) == 2
+
+
+def test_side_survives_pickling():
+    for side in Side:
+        clone = pickle.loads(pickle.dumps(side))
+        # Enum members are singletons even across pickling, so the
+        # identity hash stays consistent with equality.
+        assert clone is side
+        assert hash(clone) == hash(side)
+        assert clone.other is side.other
+
+
+def test_from_sorted_rows_equals_normalizing_constructor():
+    graph = random_bipartite(12, 9, 0.3, seed=21)
+    upper = tuple(
+        graph.neighbors(Side.UPPER, u) for u in range(graph.num_upper)
+    )
+    lower = tuple(
+        graph.neighbors(Side.LOWER, v) for v in range(graph.num_lower)
+    )
+    trusted = BipartiteGraph._from_sorted_rows(upper, lower, graph.num_edges)
+    assert trusted == graph
+    assert trusted.num_edges == graph.num_edges
+    assert trusted.num_upper == graph.num_upper
+    assert trusted.num_lower == graph.num_lower
+    for side in Side:
+        for v in range(graph.num_vertices_on(side)):
+            assert trusted.neighbors(side, v) == graph.neighbors(side, v)
+            assert trusted.neighbor_set(side, v) == graph.neighbor_set(
+                side, v
+            )
+    assert trusted.labels(Side.UPPER) is None
+    assert trusted.label(Side.UPPER, 0) == 0
